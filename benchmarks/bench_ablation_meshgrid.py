@@ -1,0 +1,108 @@
+"""Ablation — mesh-grid candidate generation vs independent pair sampling.
+
+Algorithm 1 samples √max_candidates subjects and objects and takes their
+cross product (line 11).  The alternative is drawing max_candidates
+independent (s, o) pairs.  The mesh grid reuses each sampled entity ~√C
+times, concentrating candidates on fewer distinct entities — this
+ablation quantifies the effect on yield and quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from common import MAX_CANDIDATES_DEFAULT, TOP_N_DEFAULT, save_and_print
+
+from repro.discovery import discover_facts
+from repro.discovery.discover import MAX_GENERATION_ITERATIONS
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, load_dataset
+from repro.kg.stats import OBJECT, SUBJECT
+from repro.kge.evaluation import compute_ranks
+
+
+def _pair_sampling_discover(model, graph, strategy, top_n, max_candidates, seed, stats):
+    """Algorithm 1 with line 11 replaced by independent pair draws."""
+    from repro.discovery.strategies import create_strategy
+
+    rng = np.random.default_rng(seed)
+    strat = create_strategy(strategy)
+    strat.prepare(stats)
+    train = graph.train
+    facts, ranks = [], []
+    start = time.perf_counter()
+    for relation in train.unique_relations():
+        pool_s, probs_s = strat.distribution(SUBJECT)
+        pool_o, probs_o = strat.distribution(OBJECT)
+        collected = np.zeros((0, 3), dtype=np.int64)
+        for _ in range(MAX_GENERATION_ITERATIONS):
+            if len(collected) >= max_candidates:
+                break
+            s = rng.choice(pool_s, size=max_candidates, p=probs_s)
+            o = rng.choice(pool_o, size=max_candidates, p=probs_o)
+            cand = np.stack([s, np.full(max_candidates, relation), o], axis=1)
+            cand = cand[cand[:, 0] != cand[:, 2]]
+            cand = cand[~train.contains(cand)]
+            collected = np.unique(np.concatenate([collected, cand]), axis=0)
+        collected = collected[:max_candidates]
+        if not len(collected):
+            continue
+        r = compute_ranks(model, collected, filter_triples=train, side="object")
+        keep = r <= top_n
+        facts.append(collected[keep])
+        ranks.append(r[keep])
+    runtime = time.perf_counter() - start
+    all_facts = np.concatenate(facts) if facts else np.zeros((0, 3), dtype=np.int64)
+    all_ranks = np.concatenate(ranks) if ranks else np.zeros(0)
+    return all_facts, all_ranks, runtime
+
+
+def test_ablation_meshgrid_vs_pairs(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+    stats = GraphStatistics(graph.train)
+
+    mesh = benchmark.pedantic(
+        lambda: discover_facts(
+            model, graph, strategy="entity_frequency", top_n=TOP_N_DEFAULT,
+            max_candidates=MAX_CANDIDATES_DEFAULT, seed=0, stats=stats,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    pair_facts, pair_ranks, pair_runtime = _pair_sampling_discover(
+        model, graph, "entity_frequency", TOP_N_DEFAULT,
+        MAX_CANDIDATES_DEFAULT, seed=0, stats=stats,
+    )
+
+    def distinct_entities(facts: np.ndarray) -> int:
+        return len(np.unique(facts[:, [0, 2]])) if len(facts) else 0
+
+    rows = [
+        {
+            "variant": "mesh grid (Algorithm 1)",
+            "facts": mesh.num_facts,
+            "mrr": round(mesh.mrr(), 4),
+            "distinct_entities": distinct_entities(mesh.facts),
+        },
+        {
+            "variant": "independent pairs",
+            "facts": len(pair_facts),
+            "mrr": round(float((1 / pair_ranks).mean()) if len(pair_ranks) else 0.0, 4),
+            "distinct_entities": distinct_entities(pair_facts),
+        },
+    ]
+    save_and_print(
+        "ablation_meshgrid",
+        format_table(
+            rows,
+            title="Ablation — mesh-grid vs independent pair generation "
+            "(fb15k237-like, DistMult, EF)",
+        ),
+    )
+
+    # The mesh grid concentrates candidates on fewer distinct entities.
+    assert distinct_entities(mesh.facts) <= distinct_entities(pair_facts)
+    # Both remain usable discovery procedures.
+    assert mesh.num_facts > 0 and len(pair_facts) > 0

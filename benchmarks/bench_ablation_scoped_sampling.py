@@ -1,0 +1,72 @@
+"""Ablation/extension — relation-scoped (domain/range-aware) sampling.
+
+The paper's §6 suggests pruning mechanisms for illogical candidates;
+CHAI (§5.1) prunes after generation.  The RELATION FREQUENCY extension
+builds the constraint into generation itself: subjects/objects are
+sampled from each relation's observed domain/range.  Compared against
+global ENTITY FREQUENCY on the same trained model:
+
+* every candidate is domain/range-consistent *by construction*;
+* the per-relation budget wastes nothing on type-invalid pairs, so both
+  yield and MRR improve.
+"""
+
+from __future__ import annotations
+
+from common import MAX_CANDIDATES_DEFAULT, TOP_N_DEFAULT, save_and_print
+
+from repro.discovery import RuleFilter, discover_facts
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, load_dataset
+
+
+def test_relation_scoped_sampling(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+    stats = GraphStatistics(graph.train)
+    rules = RuleFilter(graph.train)
+
+    def run(strategy):
+        return discover_facts(
+            model, graph, strategy=strategy, top_n=TOP_N_DEFAULT,
+            max_candidates=MAX_CANDIDATES_DEFAULT, seed=0, stats=stats,
+        )
+
+    scoped = benchmark.pedantic(
+        lambda: run("relation_frequency"), rounds=1, iterations=1
+    )
+    global_ef = run("entity_frequency")
+
+    rows = []
+    results = {"relation_frequency (scoped)": scoped, "entity_frequency (global)": global_ef}
+    for label, result in results.items():
+        compliance = (
+            float(rules.accept_mask(result.facts).mean()) if result.num_facts else 0.0
+        )
+        rows.append(
+            {
+                "strategy": label,
+                "facts": result.num_facts,
+                "mrr": round(result.mrr(), 4),
+                "domain_range_compliance": round(compliance, 3),
+                "facts_per_hour": round(result.efficiency_facts_per_hour()),
+            }
+        )
+    save_and_print(
+        "ablation_scoped_sampling",
+        format_table(
+            rows,
+            title="Extension — relation-scoped vs global frequency sampling "
+            "(fb15k237-like, DistMult)",
+        ),
+    )
+
+    # Scoped candidates respect domain/range by construction...
+    scoped_compliance = rules.accept_mask(scoped.facts).mean()
+    global_compliance = rules.accept_mask(global_ef.facts).mean()
+    assert scoped_compliance > 0.99
+    assert scoped_compliance > global_compliance
+    # ...and the budget buys at least as many facts of at least equal
+    # quality.
+    assert scoped.num_facts >= global_ef.num_facts
+    assert scoped.mrr() >= 0.95 * global_ef.mrr()

@@ -1,0 +1,126 @@
+"""Baseline — exhaustive (CHAI-style) generation vs Algorithm 1 sampling.
+
+The paper's motivation (§1, §5.1): enumerating the complement graph is
+infeasible (533 × 10⁹ candidates for YAGO3-10) because the candidate
+count grows as |E|²·|R| while sampling is bounded by ``max_candidates``
+per relation.  On the small replicas the exhaustive sweep is still
+runnable, which lets us demonstrate both halves of the argument:
+
+* the workload ratio — exhaustive evaluates ~180× the candidates and its
+  per-relation cost grows quadratically with the entity count, while
+  Algorithm 1 is flat;
+* the quality effect — popularity-based sampling concentrates on good
+  candidates and attains a *higher* MRR than the indiscriminate sweep.
+"""
+
+from __future__ import annotations
+
+from common import MAX_CANDIDATES_DEFAULT, TOP_N_DEFAULT, save_and_print
+
+from repro.discovery import RuleFilter, discover_facts, exhaustive_discover_facts
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, KGProfile, generate_kg, load_dataset
+from repro.kge import ModelConfig, TrainConfig, fit
+
+_RELATIONS = [0, 1, 2]  # bound the sweep: three relations are plenty
+
+
+def test_exhaustive_vs_sampled(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+    stats = GraphStatistics(graph.train)
+
+    sampled = benchmark.pedantic(
+        lambda: discover_facts(
+            model, graph, strategy="entity_frequency", top_n=TOP_N_DEFAULT,
+            max_candidates=MAX_CANDIDATES_DEFAULT, relations=_RELATIONS,
+            seed=0, stats=stats,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    exhaustive = exhaustive_discover_facts(
+        model, graph, top_n=TOP_N_DEFAULT, relations=_RELATIONS,
+    )
+    pruned = exhaustive_discover_facts(
+        model, graph, top_n=TOP_N_DEFAULT, relations=_RELATIONS,
+        rule_filter=RuleFilter(graph.train),
+    )
+
+    def row(label, result):
+        return {
+            "approach": label,
+            "candidates": result.candidates_generated,
+            "facts": result.num_facts,
+            "mrr": round(result.mrr(), 4),
+            "runtime_s": round(result.runtime_seconds, 3),
+            "facts_per_hour": round(result.efficiency_facts_per_hour()),
+        }
+
+    rows = [
+        row("Algorithm 1 (EF sampling)", sampled),
+        row("exhaustive (CHAI-style)", exhaustive),
+        row("exhaustive + rule filter", pruned),
+    ]
+
+    # Scaling sweep: candidates evaluated per relation as the entity
+    # count grows — quadratic for exhaustive, flat for Algorithm 1.
+    scaling_rows = []
+    ratios = []
+    for size in (100, 200, 400):
+        scaled = generate_kg(
+            KGProfile(
+                name=f"scale-{size}", num_entities=size, num_relations=4,
+                num_triples=size * 8, num_types=5, seed=77,
+            )
+        )
+        small_model = fit(
+            scaled,
+            ModelConfig("distmult", dim=16, seed=0),
+            TrainConfig(job="kvsall", loss="bce", epochs=10, batch_size=128, lr=0.05),
+        ).model
+        ex = exhaustive_discover_facts(
+            small_model, scaled, top_n=TOP_N_DEFAULT, relations=[0]
+        )
+        sa = discover_facts(
+            small_model, scaled, strategy="entity_frequency",
+            top_n=TOP_N_DEFAULT, max_candidates=MAX_CANDIDATES_DEFAULT,
+            relations=[0], seed=0,
+        )
+        ratio = ex.candidates_generated / max(sa.candidates_generated, 1)
+        ratios.append(ratio)
+        scaling_rows.append(
+            {
+                "entities": size,
+                "exhaustive_candidates": ex.candidates_generated,
+                "sampled_candidates": sa.candidates_generated,
+                "workload_ratio": round(ratio, 1),
+            }
+        )
+
+    save_and_print(
+        "exhaustive_baseline",
+        format_table(
+            rows,
+            title="Baseline — sampling vs exhaustive generation "
+            f"(fb15k237-like, DistMult, {len(_RELATIONS)} relations)",
+        )
+        + "\n\n"
+        + format_table(
+            scaling_rows,
+            title="Baseline — candidate workload vs entity count (one relation)",
+        )
+        + f"\n\nfull complement of this replica: {graph.complement_size():,} triples"
+        + "\npaper-scale complement (YAGO3-10): 533,000,000,000 triples",
+    )
+
+    # Sampling evaluates a small fraction of the exhaustive candidates.
+    assert sampled.candidates_generated < 0.05 * exhaustive.candidates_generated
+    # Focused (popularity) sampling yields higher-quality facts than the
+    # indiscriminate sweep.
+    assert sampled.mrr() > exhaustive.mrr()
+    # Rule pruning shrinks the exhaustive candidate set.
+    assert pruned.candidates_generated < exhaustive.candidates_generated
+    # The exhaustive/sampled workload ratio grows with the entity count —
+    # the |E|² blow-up that makes the paper-scale sweep infeasible.
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,65 @@
+"""Extension — anytime discovery under a wall-clock budget.
+
+Compares the UCB bandit scheduler against fair round-robin on the same
+trained model and budget.  Because the paper's relations differ strongly
+in yield (skewed KGs), prioritising productive relations wins facts per
+pull; the gap is the value of budget-aware scheduling, a dimension the
+fixed-budget Algorithm 1 cannot express.
+"""
+
+from __future__ import annotations
+
+from common import save_and_print
+
+from repro.discovery import anytime_discover
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, load_dataset
+
+_BUDGET = 2.0  # seconds
+
+
+def test_anytime_schedulers(benchmark):
+    graph = load_dataset("codexl-like")
+    model = get_trained_model("codexl-like", "complex", graph=graph)
+    stats = GraphStatistics(graph.train)
+
+    def run(scheduler: str):
+        return anytime_discover(
+            model, graph, budget_seconds=_BUDGET, scheduler=scheduler,
+            top_n=50, batch_candidates=100, seed=0, stats=stats,
+        )
+
+    ucb = benchmark.pedantic(lambda: run("ucb"), rounds=1, iterations=1)
+    round_robin = run("round_robin")
+
+    rows = []
+    for result in (ucb, round_robin):
+        total_pulls = sum(result.pulls.values())
+        rows.append(
+            {
+                "scheduler": result.scheduler,
+                "facts": result.num_facts,
+                "mrr": round(result.mrr(), 4),
+                "pulls": total_pulls,
+                "facts_per_pull": round(result.num_facts / max(total_pulls, 1), 2),
+                "facts_per_hour": round(result.facts_per_hour()),
+            }
+        )
+    pull_spread = sorted(ucb.pulls.values())
+    save_and_print(
+        "extension_anytime",
+        format_table(
+            rows,
+            title=f"Anytime discovery, {_BUDGET:.0f}s budget "
+            "(codexl-like, ComplEx)",
+        )
+        + f"\n\nUCB pull distribution over relations: min={pull_spread[0]}, "
+        f"median={pull_spread[len(pull_spread) // 2]}, max={pull_spread[-1]}",
+    )
+
+    # The bandit matches or beats fair scheduling on yield per pull.
+    ucb_rate = ucb.num_facts / max(sum(ucb.pulls.values()), 1)
+    rr_rate = round_robin.num_facts / max(sum(round_robin.pulls.values()), 1)
+    assert ucb_rate >= 0.95 * rr_rate
+    # And it is genuinely adaptive: pulls are not uniform across arms.
+    assert pull_spread[-1] > pull_spread[0]

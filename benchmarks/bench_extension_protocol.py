@@ -1,0 +1,74 @@
+"""Extension (§6 future direction 3) — a held-out evaluation protocol.
+
+The paper notes fact discovery has no evaluation protocol.  This
+benchmark exercises the hide → train → discover → score protocol from
+:mod:`repro.discovery.protocol` and confirms it reproduces the paper's
+strategy ordering in *recall of actually-true hidden facts* — a stronger
+form of evidence than corruption-rank MRR.
+"""
+
+from __future__ import annotations
+
+from common import save_and_print
+
+from repro.discovery import heldout_discovery_protocol
+from repro.experiments import format_table
+from repro.kg import load_dataset
+from repro.kge import ModelConfig, TrainConfig
+
+_STRATEGIES = ("uniform_random", "entity_frequency", "cluster_triangles")
+
+
+def test_heldout_protocol(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model_config = ModelConfig("distmult", dim=32, seed=0)
+    train_config = TrainConfig(
+        job="kvsall", loss="bce", epochs=40, batch_size=128, lr=0.05,
+        label_smoothing=0.1,
+    )
+
+    def run(strategy):
+        return heldout_discovery_protocol(
+            graph,
+            model_config,
+            train_config,
+            strategy=strategy,
+            hide_fraction=0.15,
+            top_n=50,
+            max_candidates=500,
+            seed=0,
+        )
+
+    results = {}
+    results["uniform_random"] = benchmark.pedantic(
+        lambda: run("uniform_random"), rounds=1, iterations=1
+    )
+    for strategy in _STRATEGIES[1:]:
+        results[strategy] = run(strategy)
+
+    rows = []
+    for strategy, result in results.items():
+        row = {"strategy": strategy}
+        row.update(
+            {
+                k: round(v, 4) if isinstance(v, float) else v
+                for k, v in result.summary().items()
+            }
+        )
+        rows.append(row)
+    save_and_print(
+        "extension_protocol",
+        format_table(
+            rows,
+            title="§6 extension — held-out discovery protocol "
+            "(fb15k237-like, DistMult, 15% hidden)",
+        ),
+    )
+
+    # The protocol-level restatement of the paper's finding: popularity
+    # sampling recovers more of the hidden true facts than uniform.
+    assert results["entity_frequency"].recall > results["uniform_random"].recall
+    assert results["cluster_triangles"].recall > results["uniform_random"].recall
+    # Everything recovered is by construction true: precision bound sane.
+    for result in results.values():
+        assert 0.0 <= result.known_true_precision <= 1.0

@@ -1,0 +1,79 @@
+"""Figure 2 — runtime of the discovery algorithm (paper §4.2.1).
+
+One table per dataset: rows are strategies (UR/EF/GD/CC/CT), columns are
+the five KGE models, cells are total runtime in seconds.  Expected shape:
+
+* UR/EF/GD cheapest; CC/CT pay an extra weight-computation cost
+  (triangle counting), visible in the ``weight_s`` column;
+* WN18RR-like terminates fastest (few relations, sparse graph);
+* the KGE model choice barely moves the runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import (
+    MAX_CANDIDATES_DEFAULT,
+    TOP_N_DEFAULT,
+    matrix_rows,
+    save_and_print,
+)
+
+from repro.discovery import STRATEGY_ABBREVIATIONS, discover_facts
+from repro.experiments import format_table, get_trained_model, group_rows
+from repro.kg import load_dataset
+
+
+def test_fig2_runtime(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "transe", graph=graph)
+    benchmark.pedantic(
+        lambda: discover_facts(
+            model, graph, strategy="uniform_random",
+            top_n=TOP_N_DEFAULT, max_candidates=MAX_CANDIDATES_DEFAULT, seed=0,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = matrix_rows()
+    sections = []
+    for dataset, dataset_rows in group_rows(rows, "dataset").items():
+        table_rows = []
+        for strategy, strategy_rows in group_rows(dataset_rows, "strategy").items():
+            row = {"strategy": STRATEGY_ABBREVIATIONS[strategy]}
+            for r in strategy_rows:
+                row[r.model] = round(r.runtime_seconds, 3)
+            row["weight_s"] = round(
+                float(np.mean([r.weight_seconds for r in strategy_rows])), 4
+            )
+            table_rows.append(row)
+        sections.append(
+            format_table(
+                table_rows,
+                title=f"Figure 2 — runtime seconds on {dataset} "
+                f"(top_n={TOP_N_DEFAULT}, max_candidates={MAX_CANDIDATES_DEFAULT})",
+            )
+        )
+    save_and_print("fig2_runtime", "\n\n".join(sections))
+
+    # Shape check 1: triangle-based strategies pay more weight time than
+    # the linear ones on every dataset.
+    for dataset, dataset_rows in group_rows(rows, "dataset").items():
+        by_strategy = group_rows(dataset_rows, "strategy")
+        linear = np.mean(
+            [r.weight_seconds for s in ("uniform_random", "entity_frequency",
+                                        "graph_degree") for r in by_strategy[s]]
+        )
+        triangular = np.mean(
+            [r.weight_seconds for s in ("cluster_coefficient",
+                                        "cluster_triangles") for r in by_strategy[s]]
+        )
+        assert triangular > linear, dataset
+
+    # Shape check 2: WN18RR-like has the shortest total runtime.
+    totals = {
+        dataset: sum(r.runtime_seconds for r in dataset_rows)
+        for dataset, dataset_rows in group_rows(rows, "dataset").items()
+    }
+    assert totals["wn18rr-like"] == min(totals.values())

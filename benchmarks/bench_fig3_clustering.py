@@ -1,0 +1,58 @@
+"""Figure 3 — distribution of node clustering coefficients (paper §4.2.1).
+
+For each dataset: a histogram of the local clustering coefficients and
+the dataset average (the red line in the paper).  Expected shape:
+WN18RR-like has by far the lowest average (the paper reports 0.059 for
+the original), FB15K-237-like the highest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import save_and_print
+
+from repro.experiments import ascii_bars, format_table
+from repro.kg import GraphStatistics, available_datasets, load_dataset
+
+_BINS = np.linspace(0.0, 1.0, 11)
+
+
+def test_fig3_clustering_distribution(benchmark):
+    largest = load_dataset("yago310-like")
+    benchmark.pedantic(
+        lambda: GraphStatistics(largest.train).clustering_coefficient,
+        rounds=3,
+        iterations=1,
+    )
+
+    sections = []
+    averages = {}
+    for name in available_datasets():
+        graph = load_dataset(name)
+        stats = GraphStatistics(graph.train, backend="sparse")
+        coeffs = stats.clustering_coefficient
+        averages[name] = float(coeffs.mean())
+        hist, _ = np.histogram(coeffs, bins=_BINS)
+        labels = [f"[{a:.1f},{b:.1f})" for a, b in zip(_BINS[:-1], _BINS[1:])]
+        sections.append(
+            ascii_bars(
+                labels,
+                hist.astype(float),
+                title=(
+                    f"Figure 3 — clustering coefficients on {name} "
+                    f"(average = {averages[name]:.3f})"
+                ),
+                precision=0,
+            )
+        )
+    summary = format_table(
+        [{"dataset": k, "average_clustering": round(v, 4)} for k, v in averages.items()],
+        title="Figure 3 — dataset averages (the red lines)",
+    )
+    save_and_print("fig3_clustering", "\n\n".join(sections) + "\n\n" + summary)
+
+    assert averages["wn18rr-like"] == min(averages.values())
+    assert averages["fb15k237-like"] == max(averages.values())
+    # The original WN18RR average is 0.059; the replica stays in that
+    # sparse regime (an order of magnitude below the dense datasets).
+    assert averages["wn18rr-like"] < 0.1

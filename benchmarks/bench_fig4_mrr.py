@@ -1,0 +1,65 @@
+"""Figure 4 — MRR of the discovery algorithm (paper §4.2.2).
+
+One table per dataset: strategy × model, cells are the MRR of the
+discovered facts against their corruptions.  Expected shape:
+
+* ENTITY FREQUENCY and CLUSTERING TRIANGLES in the top group;
+* UNIFORM RANDOM and CLUSTERING COEFFICIENT in the bottom group;
+* every MRR above the theoretical floor 1 / top_n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import (
+    MAX_CANDIDATES_DEFAULT,
+    TOP_N_DEFAULT,
+    matrix_rows,
+    save_and_print,
+)
+
+from repro.discovery import STRATEGY_ABBREVIATIONS, theoretical_mrr_floor
+from repro.experiments import format_table, group_rows
+
+
+def _strategy_mean_mrr(rows) -> dict[str, float]:
+    means = {}
+    for strategy, strategy_rows in group_rows(rows, "strategy").items():
+        means[strategy] = float(np.mean([r.mrr for r in strategy_rows]))
+    return means
+
+
+def test_fig4_mrr(benchmark):
+    rows = benchmark.pedantic(matrix_rows, rounds=1, iterations=1)
+
+    sections = []
+    for dataset, dataset_rows in group_rows(rows, "dataset").items():
+        table_rows = []
+        for strategy, strategy_rows in group_rows(dataset_rows, "strategy").items():
+            row = {"strategy": STRATEGY_ABBREVIATIONS[strategy]}
+            for r in strategy_rows:
+                row[r.model] = round(r.mrr, 4)
+            table_rows.append(row)
+        sections.append(
+            format_table(
+                table_rows,
+                title=f"Figure 4 — discovery MRR on {dataset} "
+                f"(top_n={TOP_N_DEFAULT}, max_candidates={MAX_CANDIDATES_DEFAULT})",
+            )
+        )
+    save_and_print("fig4_mrr", "\n\n".join(sections))
+
+    # Shape check 1: nothing below the theoretical floor.
+    floor = theoretical_mrr_floor(TOP_N_DEFAULT)
+    assert all(r.mrr >= floor for r in rows if r.num_facts > 0)
+
+    # Shape check 2 (§4.2.2): EF beats UR on average; the bottom two
+    # strategies are UR and CC.
+    means = _strategy_mean_mrr(rows)
+    assert means["entity_frequency"] > means["uniform_random"]
+    bottom_two = set(sorted(means, key=means.get)[:2])
+    assert bottom_two == {"uniform_random", "cluster_coefficient"}
+
+    # Shape check 3: the popularity-based strategies all beat UR.
+    for strategy in ("entity_frequency", "graph_degree", "cluster_triangles"):
+        assert means[strategy] > means["uniform_random"], strategy

@@ -1,0 +1,66 @@
+"""Figure 5 — per-node triangles vs clustering coefficient on FB15K-237
+(paper §4.2.2).
+
+The paper's argument: a node's clustering coefficient fluctuates largely
+independently of its triangle count, which is why CLUSTERING COEFFICIENT
+fails to track popularity while CLUSTERING TRIANGLES succeeds.  We print
+summary statistics of both per-node metrics and their rank correlations
+with node degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import save_and_print
+from scipy import stats as scipy_stats
+
+from repro.experiments import format_table
+from repro.kg import GraphStatistics, load_dataset
+
+
+def test_fig5_node_metrics(benchmark):
+    graph = load_dataset("fb15k237-like")
+
+    def compute():
+        stats = GraphStatistics(graph.train, backend="sparse")
+        return stats.triangles, stats.clustering_coefficient, stats.degree
+
+    triangles, coefficient, degree = benchmark.pedantic(
+        compute, rounds=3, iterations=1
+    )
+
+    def describe(name: str, values: np.ndarray) -> dict:
+        return {
+            "metric": name,
+            "min": float(values.min()),
+            "median": float(np.median(values)),
+            "mean": float(values.mean()),
+            "max": float(values.max()),
+        }
+
+    tri_degree = scipy_stats.spearmanr(triangles, degree).statistic
+    coeff_degree = scipy_stats.spearmanr(coefficient, degree).statistic
+    tri_coeff = scipy_stats.spearmanr(triangles, coefficient).statistic
+
+    text = (
+        format_table(
+            [describe("triangles T(v)", triangles.astype(float)),
+             describe("clustering c(v)", coefficient)],
+            title="Figure 5 — per-node metric distributions on fb15k237-like",
+        )
+        + "\n\n"
+        + format_table(
+            [
+                {"pair": "triangles vs degree", "spearman": round(float(tri_degree), 3)},
+                {"pair": "clustering vs degree", "spearman": round(float(coeff_degree), 3)},
+                {"pair": "triangles vs clustering", "spearman": round(float(tri_coeff), 3)},
+            ],
+            title="Figure 5 — rank correlations (popularity alignment)",
+        )
+    )
+    save_and_print("fig5_node_metrics", text)
+
+    # The paper's core observation: triangle counts track popularity
+    # (degree) far better than the clustering coefficient does.
+    assert tri_degree > coeff_degree + 0.2
+    assert tri_degree > 0.8

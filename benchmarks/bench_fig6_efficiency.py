@@ -1,0 +1,61 @@
+"""Figure 6 — efficiency (facts per hour) of the discovery algorithm
+(paper §4.2.3).
+
+One table per dataset: strategy × model, cells are discovered facts per
+hour of runtime.  Expected shape:
+
+* UR and CC are the bottom performers;
+* CLUSTERING TRIANGLES delivers the most facts per hour on average;
+* the large YAGO3-10-like dataset has the lowest efficiency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import (
+    MAX_CANDIDATES_DEFAULT,
+    TOP_N_DEFAULT,
+    matrix_rows,
+    save_and_print,
+)
+
+from repro.discovery import STRATEGY_ABBREVIATIONS
+from repro.experiments import format_table, group_rows
+
+
+def test_fig6_efficiency(benchmark):
+    rows = benchmark.pedantic(matrix_rows, rounds=1, iterations=1)
+
+    sections = []
+    for dataset, dataset_rows in group_rows(rows, "dataset").items():
+        table_rows = []
+        for strategy, strategy_rows in group_rows(dataset_rows, "strategy").items():
+            row = {"strategy": STRATEGY_ABBREVIATIONS[strategy]}
+            for r in strategy_rows:
+                row[r.model] = round(r.efficiency_facts_per_hour)
+            table_rows.append(row)
+        sections.append(
+            format_table(
+                table_rows,
+                title=f"Figure 6 — facts/hour on {dataset} "
+                f"(top_n={TOP_N_DEFAULT}, max_candidates={MAX_CANDIDATES_DEFAULT})",
+            )
+        )
+    save_and_print("fig6_efficiency", "\n\n".join(sections))
+
+    by_strategy = {
+        strategy: float(np.mean([r.efficiency_facts_per_hour for r in srows]))
+        for strategy, srows in group_rows(rows, "strategy").items()
+    }
+    # Shape check 1 (§4.2.3): CT delivers the most facts per hour overall.
+    assert by_strategy["cluster_triangles"] == max(by_strategy.values())
+    # Shape check 2: UR is outperformed by EF.
+    assert by_strategy["entity_frequency"] > by_strategy["uniform_random"]
+
+    # Shape check 3: the biggest dataset (yago310-like) has the lowest
+    # mean efficiency.
+    by_dataset = {
+        dataset: float(np.mean([r.efficiency_facts_per_hour for r in drows]))
+        for dataset, drows in group_rows(rows, "dataset").items()
+    }
+    assert by_dataset["yago310-like"] == min(by_dataset.values())

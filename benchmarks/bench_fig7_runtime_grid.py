@@ -1,0 +1,54 @@
+"""Figure 7 — runtime vs max_candidates, one line per top_n
+(paper §4.3.1, FB15K-237 + TransE, UNIFORM RANDOM).
+
+Expected shape: the lines for different top_n overlap (top_n is a pure
+filter and costs nothing), while runtime grows monotonically with
+max_candidates (more candidates must be scored).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import (
+    MAX_CANDIDATES_GRID,
+    TOP_N_GRID,
+    grid_points,
+    save_and_print,
+)
+
+from repro.experiments import format_series
+
+
+def test_fig7_runtime_grid(benchmark):
+    points = benchmark.pedantic(
+        lambda: grid_points("uniform_random"), rounds=1, iterations=1
+    )
+
+    series = {}
+    for top_n in TOP_N_GRID:
+        series[f"top_n={top_n}"] = [
+            round(p.runtime_seconds, 3)
+            for p in points
+            if p.top_n == top_n
+        ]
+    text = format_series(
+        "max_candidates",
+        list(MAX_CANDIDATES_GRID),
+        series,
+        title="Figure 7 — runtime (s) vs max_candidates on fb15k237-like + TransE (UR)",
+    )
+    save_and_print("fig7_runtime_grid", text)
+
+    # Shape check 1: top_n has practically no impact on runtime — the
+    # lines overlap at the typical grid point.  The median relative
+    # spread is used because individual cells are single timed runs and
+    # occasionally catch a scheduler hiccup.
+    runtimes = np.asarray([list(v) for v in series.values()])  # (topn, cand)
+    spread = runtimes.max(axis=0) - runtimes.min(axis=0)
+    relative_spread = spread / runtimes.mean(axis=0)
+    assert np.median(relative_spread) < 0.4
+
+    # Shape check 2: runtime grows with max_candidates (compare the two
+    # ends of each line, averaging over top_n).
+    means = runtimes.mean(axis=0)
+    assert means[-1] > means[0]

@@ -1,0 +1,66 @@
+"""Figure 8 — fact quality (MRR) under the hyperparameter grid
+(paper §4.3.1, FB15K-237 + TransE, CLUSTERING TRIANGLES).
+
+(a) MRR vs max_candidates at top_n fixed — expected flat/stable;
+(b) MRR vs top_n at max_candidates fixed — expected decreasing, because a
+looser rank filter admits worse facts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import (
+    MAX_CANDIDATES_GRID,
+    TOP_N_GRID,
+    grid_points,
+    save_and_print,
+)
+
+from repro.experiments import format_series
+
+
+def test_fig8_quality_grid(benchmark):
+    points = benchmark.pedantic(
+        lambda: grid_points("cluster_triangles"), rounds=1, iterations=1
+    )
+    top_n_pivot = 50
+    cand_pivot = 500
+
+    mrr_vs_candidates = [
+        round(p.mrr, 4)
+        for p in points
+        if p.top_n == top_n_pivot
+    ]
+    mrr_vs_top_n = [
+        round(p.mrr, 4)
+        for p in points
+        if p.max_candidates == cand_pivot
+    ]
+
+    text = (
+        format_series(
+            "max_candidates",
+            list(MAX_CANDIDATES_GRID),
+            {f"MRR (top_n={top_n_pivot})": mrr_vs_candidates},
+            title="Figure 8a — MRR vs max_candidates (fb15k237-like + TransE, CT)",
+        )
+        + "\n\n"
+        + format_series(
+            "top_n",
+            list(TOP_N_GRID),
+            {f"MRR (max_candidates={cand_pivot})": mrr_vs_top_n},
+            title="Figure 8b — MRR vs top_n (fb15k237-like + TransE, CT)",
+        )
+    )
+    save_and_print("fig8_quality_grid", text)
+
+    # Shape check 1 (8b): increasing top_n reduces MRR.
+    assert mrr_vs_top_n[-1] < mrr_vs_top_n[0]
+    # Monotone non-increasing up to small noise.
+    diffs = np.diff(mrr_vs_top_n)
+    assert (diffs <= 1e-9).sum() >= len(diffs) - 1
+
+    # Shape check 2 (8a): MRR stays within a stable band as
+    # max_candidates grows (no systematic degradation).
+    values = np.asarray(mrr_vs_candidates)
+    assert values.min() > 0.5 * values.max()

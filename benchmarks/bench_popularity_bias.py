@@ -1,0 +1,59 @@
+"""§4.2.2 — popularity bias across the KGE models.
+
+The paper hypothesises popularity bias to explain why frequency-based
+sampling pairs so well with certain models.  The probe: rank-correlate
+each entity's query-averaged object score with its training frequency.
+Every trained model on the skewed replicas should exhibit a positive
+correlation — that *is* the mechanism that makes ENTITY FREQUENCY and
+CLUSTERING TRIANGLES effective — and the probe quantifies how much each
+model amplifies it.
+"""
+
+from __future__ import annotations
+
+from common import save_and_print
+
+from repro.experiments import PAPER_MODELS, format_table, get_trained_model
+from repro.kg import load_dataset
+from repro.kge.diagnostics import popularity_bias
+
+
+def test_popularity_bias_probe(benchmark):
+    graph = load_dataset("fb15k237-like")
+
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+    benchmark.pedantic(
+        lambda: popularity_bias(model, graph, num_queries=100, seed=0),
+        rounds=2,
+        iterations=1,
+    )
+
+    rows = []
+    results = {}
+    for name in PAPER_MODELS:
+        trained = get_trained_model("fb15k237-like", name, graph=graph)
+        probe = popularity_bias(trained, graph, num_queries=200, seed=0)
+        results[name] = probe
+        rows.append(
+            {
+                "model": name,
+                "spearman(score, frequency)": round(probe.correlation, 3),
+                "p_value": probe.p_value,
+                "biased": str(probe.is_biased),
+            }
+        )
+    rows.sort(key=lambda r: r["spearman(score, frequency)"], reverse=True)
+    save_and_print(
+        "popularity_bias",
+        format_table(
+            rows,
+            precision=6,
+            title="§4.2.2 — popularity-bias probe (fb15k237-like)",
+        ),
+    )
+
+    # Every model trained on the skewed replica tracks popularity — the
+    # mechanism behind the frequency-based strategies' quality advantage.
+    for name, probe in results.items():
+        assert probe.correlation > 0.2, name
+        assert probe.is_biased, name

@@ -1,0 +1,62 @@
+"""§4.2.1 — discovery runtime scales with the relation count.
+
+"As the algorithm iterates over each existing relation in the KG, the
+runtime scales with the number of relations used in the KG."  We run the
+same configuration restricted to growing relation subsets of the FB
+replica and check the linear trend directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import MAX_CANDIDATES_DEFAULT, TOP_N_DEFAULT, save_and_print
+
+from repro.discovery import discover_facts
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, load_dataset
+
+_SUBSET_SIZES = (4, 8, 16, 32)
+
+
+def test_runtime_scales_with_relations(benchmark):
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+    stats = GraphStatistics(graph.train)
+    all_relations = [int(r) for r in graph.train.unique_relations()]
+
+    def run(count: int):
+        return discover_facts(
+            model, graph, strategy="entity_frequency",
+            top_n=TOP_N_DEFAULT, max_candidates=MAX_CANDIDATES_DEFAULT,
+            relations=all_relations[:count], seed=0, stats=stats,
+        )
+
+    benchmark.pedantic(lambda: run(8), rounds=2, iterations=1)
+
+    rows = []
+    runtimes = []
+    for count in _SUBSET_SIZES:
+        # Median of three runs to tame scheduler noise.
+        samples = [run(count).runtime_seconds for _ in range(3)]
+        runtime = float(np.median(samples))
+        runtimes.append(runtime)
+        rows.append(
+            {
+                "relations": count,
+                "runtime_s": round(runtime, 3),
+                "seconds_per_relation": round(runtime / count, 4),
+            }
+        )
+    save_and_print(
+        "relation_scaling",
+        format_table(
+            rows,
+            title="§4.2.1 — runtime vs relation count (fb15k237-like, DistMult, EF)",
+        ),
+    )
+
+    # Monotone growth...
+    assert all(b > a for a, b in zip(runtimes, runtimes[1:]))
+    # ...and roughly linear: per-relation cost stays within a 2.5× band.
+    per_relation = [r / c for r, c in zip(runtimes, _SUBSET_SIZES)]
+    assert max(per_relation) < 2.5 * min(per_relation)

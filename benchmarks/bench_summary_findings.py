@@ -1,0 +1,62 @@
+"""§4.2.4 — summary of findings across the full run matrix.
+
+Aggregates the matrix behind Figures 2/4/6 into one strategy-level table
+(mean MRR, mean efficiency, mean runtime, mean fact count) and asserts
+the paper's summarised conclusions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from common import matrix_rows, save_and_print
+
+from repro.discovery import STRATEGY_ABBREVIATIONS
+from repro.experiments import format_table, group_rows
+
+
+def test_summary_of_findings(benchmark):
+    rows = benchmark.pedantic(matrix_rows, rounds=1, iterations=1)
+
+    table = []
+    stats = {}
+    for strategy, srows in group_rows(rows, "strategy").items():
+        entry = {
+            "mrr": float(np.mean([r.mrr for r in srows])),
+            "efficiency": float(np.mean([r.efficiency_facts_per_hour for r in srows])),
+            "runtime": float(np.mean([r.runtime_seconds for r in srows])),
+            "facts": float(np.mean([r.num_facts for r in srows])),
+            "mrr_std": float(np.std([r.mrr for r in srows])),
+        }
+        stats[strategy] = entry
+        table.append(
+            {
+                "strategy": STRATEGY_ABBREVIATIONS[strategy],
+                "mean_mrr": round(entry["mrr"], 4),
+                "mrr_std": round(entry["mrr_std"], 4),
+                "mean_facts": round(entry["facts"]),
+                "mean_facts_per_hour": round(entry["efficiency"]),
+                "mean_runtime_s": round(entry["runtime"], 3),
+            }
+        )
+    save_and_print(
+        "summary_findings",
+        format_table(
+            table, title="§4.2.4 — summary across all datasets × models"
+        ),
+    )
+
+    # Finding 1: frequency/popularity-based sampling beats UNIFORM RANDOM
+    # on fact quality.
+    for strategy in ("entity_frequency", "graph_degree", "cluster_triangles"):
+        assert stats[strategy]["mrr"] > stats["uniform_random"]["mrr"]
+
+    # Finding 2: EF and CT are the top performers on quality.
+    by_mrr = sorted(stats, key=lambda s: stats[s]["mrr"], reverse=True)
+    assert set(by_mrr[:2]) <= {"entity_frequency", "cluster_triangles", "graph_degree"}
+
+    # Finding 3: UR and CC are the bottom two on quality.
+    assert set(by_mrr[-2:]) == {"uniform_random", "cluster_coefficient"}
+
+    # Finding 4: CT is the throughput champion.
+    by_eff = max(stats, key=lambda s: stats[s]["efficiency"])
+    assert by_eff == "cluster_triangles"

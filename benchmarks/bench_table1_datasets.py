@@ -1,0 +1,71 @@
+"""Table 1 — metadata of the datasets (paper §4.1.2).
+
+Prints the paper's original Table 1 next to the replica graphs actually
+used here, including the shape statistics (triples per entity, average
+clustering) that the substitution preserves.  The timed piece is dataset
+generation.
+"""
+
+from __future__ import annotations
+
+from common import save_and_print
+
+from repro.experiments import format_table
+from repro.kg import (
+    DATASET_PROFILES,
+    PAPER_METADATA,
+    GraphStatistics,
+    generate_kg,
+    load_dataset,
+)
+
+
+def test_table1_metadata(benchmark):
+    benchmark.pedantic(
+        lambda: generate_kg(DATASET_PROFILES["fb15k237-like"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    paper_rows = []
+    for meta in PAPER_METADATA.values():
+        paper_rows.append(
+            {
+                "Dataset": meta.name,
+                "Training": meta.training,
+                "Validation": meta.validation,
+                "Test": meta.test,
+                "Entities": meta.entities,
+                "Relations": meta.relations,
+                "Triples/entity": round(meta.training / meta.entities, 1),
+            }
+        )
+
+    replica_rows = []
+    for name in DATASET_PROFILES:
+        graph = load_dataset(name)
+        stats = GraphStatistics(graph.train, backend="sparse")
+        replica_rows.append(
+            {
+                "Dataset": graph.name,
+                "Training": len(graph.train),
+                "Validation": len(graph.valid),
+                "Test": len(graph.test),
+                "Entities": graph.num_entities,
+                "Relations": graph.num_relations,
+                "Triples/entity": round(len(graph.train) / graph.num_entities, 1),
+                "AvgClustering": round(stats.average_clustering, 3),
+            }
+        )
+
+    text = (
+        format_table(paper_rows, title="Table 1 (paper): original datasets")
+        + "\n\n"
+        + format_table(replica_rows, title="Table 1 (this repo): replica datasets")
+    )
+    save_and_print("table1_datasets", text)
+
+    # Sanity: the replicas preserve the paper's density ordering.
+    density = {r["Dataset"]: r["Triples/entity"] for r in replica_rows}
+    assert density["fb15k237-like"] == max(density.values())
+    assert density["wn18rr-like"] == min(density.values())

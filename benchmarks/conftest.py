@@ -1,0 +1,18 @@
+"""Benchmark-session configuration.
+
+Ensures the benchmark modules can import :mod:`common` regardless of how
+pytest resolves rootdir, and prints where result tables are written.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001 - pytest hook
+    results = Path(__file__).parent / "results"
+    if results.is_dir() and any(results.iterdir()):
+        print(f"\nbenchmark tables written to {results}")

@@ -1,0 +1,78 @@
+"""Budgeted discovery with model selection — the full practitioner loop.
+
+Scenario: you have a fixed compute budget.  Spend a slice of it picking
+the best embedding configuration by validation MRR (grid search, the
+paper's "Model Training" step), then spend the rest discovering facts
+with the bandit scheduler that prioritises productive relations.
+
+Usage::
+
+    python examples/anytime_budgeted_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.discovery import anytime_discover
+from repro.experiments import format_table, grid_search_models
+from repro.kg import load_dataset
+from repro.kge import ModelConfig, TrainConfig
+
+
+def main() -> None:
+    graph = load_dataset("fb15k237-like")
+    print(f"{graph}\n")
+
+    print("phase 1 — model selection (grid search on validation MRR)...")
+    search = grid_search_models(
+        graph,
+        ModelConfig("distmult", dim=32, seed=0),
+        TrainConfig(
+            job="kvsall", loss="bce", epochs=40, batch_size=128,
+            lr=0.05, label_smoothing=0.1,
+        ),
+        model_grid={"dim": [16, 32]},
+        train_grid={"lr": [0.02, 0.05]},
+    )
+    print(format_table(search.leaderboard(), title="Grid-search leaderboard"))
+    best = search.best
+    print(
+        f"\nselected: dim={best.model_config.dim}, lr={best.train_config.lr} "
+        f"(valid MRR {best.valid_mrr:.3f})\n"
+    )
+
+    print("phase 2 — anytime discovery (3-second budget, UCB scheduler)...")
+    result = anytime_discover(
+        best.training.model,
+        graph,
+        budget_seconds=3.0,
+        scheduler="ucb",
+        top_n=50,
+        batch_candidates=100,
+        seed=0,
+    )
+    print(
+        f"  {result.num_facts} facts in {result.elapsed_seconds:.2f}s "
+        f"(MRR {result.mrr():.3f}, {result.facts_per_hour():,.0f} facts/hour)"
+    )
+
+    rows = [
+        {
+            "relation": graph.relations.label_of(rel),
+            "pulls": pulls,
+            "acceptance_rate": round(result.rewards[rel], 3),
+        }
+        for rel, pulls in sorted(
+            result.pulls.items(), key=lambda kv: kv[1], reverse=True
+        )[:8]
+    ]
+    print()
+    print(format_table(rows, title="Most-pulled relations (bandit view)"))
+    print(
+        "\nThe bandit spends its pulls where candidates keep passing the"
+        "\nrank filter — relations whose embedding neighbourhoods are"
+        "\ndense with plausible missing facts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Biomedical fact discovery — the paper's motivating scenario (§1).
+
+A biomedical scientist has a knowledge graph of drugs, proteins and
+diseases but no specific queries: the goal is to surface *new* plausible
+(drug, treats, disease) relationships without any test data.  This
+example builds a synthetic biomedical KG with that structure, trains a
+ComplEx model, and uses fact discovery restricted to the ``treats``
+relation to produce a ranked list of drug-repurposing candidates.
+
+Usage::
+
+    python examples/biomedical_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import discover_facts, evaluate_ranking, fit
+from repro.kg import KnowledgeGraph
+from repro.kge import ModelConfig, TrainConfig
+
+N_DRUGS, N_PROTEINS, N_DISEASES = 60, 80, 50
+RELATIONS = ["treats", "targets", "associated_with", "interacts_with"]
+
+
+def build_biomedical_kg(seed: int = 0) -> KnowledgeGraph:
+    """A drug–protein–disease KG with latent mechanism structure.
+
+    Ground truth: each protein belongs to a pathway; drugs target
+    proteins, pathways drive diseases, and a drug treats a disease when
+    it targets a protein on the disease's pathway.  The *treats* edges we
+    train on are a random subset of that ground truth — discovery should
+    surface the held-out remainder.
+    """
+    rng = np.random.default_rng(seed)
+    drugs = [f"drug:{i}" for i in range(N_DRUGS)]
+    proteins = [f"protein:{i}" for i in range(N_PROTEINS)]
+    diseases = [f"disease:{i}" for i in range(N_DISEASES)]
+    entities = drugs + proteins + diseases
+    drug_ids = np.arange(N_DRUGS)
+    protein_ids = np.arange(N_DRUGS, N_DRUGS + N_PROTEINS)
+    disease_ids = np.arange(N_DRUGS + N_PROTEINS, len(entities))
+
+    n_pathways = 8
+    pathway_of_protein = rng.integers(0, n_pathways, N_PROTEINS)
+    pathway_of_disease = rng.integers(0, n_pathways, N_DISEASES)
+
+    triples: list[tuple[int, int, int]] = []
+    # Drugs target 1–4 proteins each.
+    targets_of_drug: dict[int, np.ndarray] = {}
+    for d in range(N_DRUGS):
+        count = rng.integers(1, 5)
+        targets = rng.choice(N_PROTEINS, size=count, replace=False)
+        targets_of_drug[d] = targets
+        for p in targets:
+            triples.append((drug_ids[d], 1, protein_ids[p]))
+    # Proteins associate with diseases on their pathway.
+    for p in range(N_PROTEINS):
+        for dis in np.flatnonzero(pathway_of_disease == pathway_of_protein[p]):
+            if rng.random() < 0.35:
+                triples.append((protein_ids[p], 2, disease_ids[dis]))
+    # Drug-drug interactions between drugs sharing a target.
+    for a in range(N_DRUGS):
+        for b in range(a + 1, N_DRUGS):
+            if np.intersect1d(targets_of_drug[a], targets_of_drug[b]).size:
+                if rng.random() < 0.3:
+                    triples.append((drug_ids[a], 3, drug_ids[b]))
+    # Ground-truth treats edges: drug targets a protein on the disease's
+    # pathway.
+    treats_truth = []
+    for d in range(N_DRUGS):
+        drug_pathways = set(pathway_of_protein[targets_of_drug[d]].tolist())
+        for dis in range(N_DISEASES):
+            if pathway_of_disease[dis] in drug_pathways:
+                treats_truth.append((drug_ids[d], 0, disease_ids[dis]))
+    rng.shuffle(treats_truth)
+    observed = treats_truth[: int(0.6 * len(treats_truth))]
+    held_out = treats_truth[int(0.6 * len(treats_truth)) :]
+    triples.extend(observed)
+
+    arr = np.asarray(triples, dtype=np.int64)
+    return (
+        KnowledgeGraph.from_arrays(
+            name="biomedical",
+            num_entities=len(entities),
+            num_relations=len(RELATIONS),
+            train=arr,
+            valid=np.asarray(held_out[: len(held_out) // 2], dtype=np.int64),
+            test=np.asarray(held_out[len(held_out) // 2 :], dtype=np.int64),
+            entity_labels=entities,
+            relation_labels=RELATIONS,
+            metadata={"held_out_treats": len(held_out)},
+        ),
+        {tuple(t) for t in held_out},
+    )
+
+
+def main() -> None:
+    print("building synthetic biomedical knowledge graph...")
+    graph, held_out = build_biomedical_kg(seed=0)
+    print(f"  {graph}")
+    print(f"  held-out true 'treats' edges to rediscover: {len(held_out)}")
+
+    print("training ComplEx...")
+    result = fit(
+        graph,
+        ModelConfig("complex", dim=48, seed=0),
+        TrainConfig(
+            job="kvsall", loss="bce", epochs=80, batch_size=128, lr=0.05,
+            label_smoothing=0.1,
+        ),
+    )
+    metrics = evaluate_ranking(result.model, graph, split="test")
+    print(f"  held-out 'treats' MRR = {metrics.mrr:.3f}, Hits@10 = {metrics.hits[10]:.3f}")
+
+    print("discovering new 'treats' candidates (GRAPH DEGREE sampling)...")
+    treats_id = graph.relations.id_of("treats")
+    discovery = discover_facts(
+        result.model,
+        graph,
+        strategy="graph_degree",
+        relations=[treats_id],
+        top_n=30,
+        max_candidates=800,
+        seed=0,
+    )
+    print(
+        f"  {discovery.num_facts} candidate facts from "
+        f"{discovery.candidates_generated} sampled pairs"
+    )
+
+    # Score the discovery against the hidden ground truth.
+    discovered = {tuple(t) for t in discovery.facts.tolist()}
+    hits = discovered & held_out
+    sensible = {
+        t for t in discovered
+        if graph.entities.label_of(t[0]).startswith("drug:")
+        and graph.entities.label_of(t[2]).startswith("disease:")
+    }
+    print(f"  type-consistent (drug, treats, disease) candidates: "
+          f"{len(sensible)}/{len(discovered)}")
+    print(f"  rediscovered held-out true edges: {len(hits)}")
+
+    print("top repurposing candidates:")
+    order = np.argsort(discovery.ranks)
+    shown = 0
+    for idx in order:
+        triple = tuple(discovery.facts[idx])
+        s, r, o = graph.label_triple(triple)
+        if not (s.startswith("drug:") and o.startswith("disease:")):
+            continue
+        marker = "  [held-out truth]" if triple in held_out else ""
+        print(f"  rank {discovery.ranks[idx]:4.0f}  ({s}, {r}, {o}){marker}")
+        shown += 1
+        if shown == 10:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Using your own knowledge graph: TSV load → hygiene → train → discover.
+
+Shows the workflow a downstream user follows with a custom dataset:
+
+1. write/load a dataset directory of ``train.txt``/``valid.txt``/
+   ``test.txt`` TSV files,
+2. run the structural report and check for inverse-relation test leakage
+   (the flaw that forced FB15K → FB15K-237, paper §4.1.2) — and repair it,
+3. train a model and discover facts on the cleaned graph.
+
+The demo KG is written to a temp directory first so the example is fully
+self-contained.
+
+Usage::
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import discover_facts, fit
+from repro.kg import (
+    KGProfile,
+    dataset_report,
+    detect_inverse_leakage,
+    generate_kg,
+    load_dataset_dir,
+    remove_inverse_leakage,
+    save_dataset_dir,
+)
+from repro.kge import ModelConfig, TrainConfig
+
+
+def write_demo_dataset(directory: Path) -> None:
+    """A synthetic KG with a deliberately planted inverse relation."""
+    graph = generate_kg(
+        KGProfile(
+            name="demo", num_entities=150, num_relations=6, num_triples=1800,
+            num_types=5, seed=42,
+        )
+    )
+    # Plant the leak: add relation 5 as the exact inverse of relation 0.
+    train = graph.train.array.copy()
+    rel0 = train[train[:, 1] == 0]
+    planted = rel0[:, [2, 1, 0]].copy()
+    planted[:, 1] = 5
+    from repro.kg import KnowledgeGraph
+
+    leaky = KnowledgeGraph.from_arrays(
+        name="demo-leaky",
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        train=np.concatenate([train, planted]),
+        valid=graph.valid.array,
+        test=graph.test.array,
+        entity_labels=graph.entities.labels,
+        relation_labels=graph.relations.labels,
+    )
+    save_dataset_dir(leaky, directory)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "my_kg"
+        write_demo_dataset(directory)
+
+        print(f"1) loading dataset directory {directory.name}/ ...")
+        graph = load_dataset_dir(directory)
+        report = dataset_report(graph)
+        print(
+            f"   {report['entities']} entities, {report['relations']} relations, "
+            f"{report['train']} training triples, "
+            f"avg clustering {report['average_clustering']:.3f}"
+        )
+
+        print("2) checking for inverse-relation test leakage...")
+        leaks = detect_inverse_leakage(graph, threshold=0.8)
+        for leak in leaks:
+            if leak.relation != leak.inverse:
+                print(
+                    f"   LEAK: {graph.relations.label_of(leak.relation)} is "
+                    f"{leak.overlap:.0%} the inverse of "
+                    f"{graph.relations.label_of(leak.inverse)}"
+                )
+        cleaned, _ = remove_inverse_leakage(graph, threshold=0.8)
+        print(
+            f"   repaired: {graph.num_relations} relations -> "
+            f"{len(cleaned.train.unique_relations())} with triples"
+        )
+
+        print("3) training DistMult on the cleaned graph...")
+        result = fit(
+            cleaned,
+            ModelConfig("distmult", dim=32, seed=0),
+            TrainConfig(
+                job="kvsall", loss="bce", epochs=50, batch_size=128, lr=0.05,
+                label_smoothing=0.1,
+            ),
+        )
+        print(f"   final loss {result.losses[-1]:.4f}")
+
+        print("4) discovering facts...")
+        discovery = discover_facts(
+            result.model, cleaned, strategy="entity_frequency",
+            top_n=30, max_candidates=400, seed=0,
+        )
+        print(
+            f"   {discovery.num_facts} facts (MRR {discovery.mrr():.3f}); "
+            "top five:"
+        )
+        order = np.argsort(discovery.ranks)[:5]
+        for idx in order:
+            s, r, o = cleaned.label_triple(tuple(discovery.facts[idx]))
+            print(f"   rank {discovery.ranks[idx]:3.0f}  ({s}, {r}, {o})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Exploring the long tail — the paper's §6 future direction, runnable.
+
+The paper's strategies exploit popular entities, so long-tail entities —
+where knowledge graphs are most incomplete — never surface.  This example
+runs three regimes on the same trained model and measures what each one
+reaches with the held-out protocol:
+
+* pure exploitation (ENTITY FREQUENCY),
+* pure exploration (INVERSE FREQUENCY),
+* an ε-greedy mixture.
+
+Usage::
+
+    python examples/exploration_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.discovery import (
+    EntityFrequency,
+    MixtureStrategy,
+    UniformRandom,
+    create_strategy,
+    discover_facts,
+    long_tail_coverage,
+)
+from repro.experiments import format_table, get_trained_model
+from repro.kg import GraphStatistics, load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("codexl-like")
+    model = get_trained_model("codexl-like", "complex", graph=graph)
+    stats = GraphStatistics(graph.train)
+
+    regimes = {
+        "exploit: entity_frequency": create_strategy("entity_frequency"),
+        "explore: inverse_frequency": create_strategy("inverse_frequency"),
+        "explore: tempered(alpha=0.5)": create_strategy("tempered_frequency"),
+        "mixed: 80% EF + 20% UR": MixtureStrategy(
+            [EntityFrequency(), UniformRandom()], [0.8, 0.2]
+        ),
+    }
+
+    rows = []
+    for label, strategy in regimes.items():
+        result = discover_facts(
+            model, graph, strategy=strategy, top_n=50, max_candidates=500,
+            seed=0, stats=stats,
+        )
+        rows.append(
+            {
+                "regime": label,
+                "facts": result.num_facts,
+                "mrr": round(result.mrr(), 4),
+                "long_tail_coverage": round(
+                    long_tail_coverage(result.facts, stats.degree), 4
+                ),
+            }
+        )
+    print(format_table(rows, title="Exploration vs exploitation on codexl-like"))
+    print(
+        "\nReading: exploitation maximises MRR but concentrates on hub"
+        "\nentities; exploration reaches the long tail at a quality cost —"
+        "\nthe trade-off the paper's §6 asks future strategies to navigate."
+    )
+
+
+if __name__ == "__main__":
+    main()

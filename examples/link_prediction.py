@@ -1,0 +1,70 @@
+"""Link prediction vs fact discovery — the paper's §1 distinction.
+
+Link prediction answers *given* queries ("which disease does drug X
+target?"); fact discovery needs no queries at all.  This example trains
+all five paper models on one replica, reports the standard
+link-prediction leaderboard (MRR / Hits@k / triple-classification
+accuracy), and then shows that the same trained model can drive fact
+discovery with zero input queries.
+
+Usage::
+
+    python examples/link_prediction.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import discover_facts, evaluate_ranking
+from repro.experiments import PAPER_MODELS, format_table, get_trained_model
+from repro.kg import load_dataset
+from repro.kge import triple_classification
+
+
+def main(dataset: str = "fb15k237-like") -> None:
+    graph = load_dataset(dataset)
+    print(f"{graph}\n")
+
+    rows = []
+    models = {}
+    for name in PAPER_MODELS:
+        print(f"training/loading {name}...")
+        model = get_trained_model(dataset, name, graph=graph)
+        models[name] = model
+        metrics = evaluate_ranking(model, graph, split="test")
+        classification = triple_classification(model, graph, seed=0)
+        rows.append(
+            {
+                "model": name,
+                "MRR": round(metrics.mrr, 4),
+                "Hits@1": round(metrics.hits[1], 4),
+                "Hits@3": round(metrics.hits[3], 4),
+                "Hits@10": round(metrics.hits[10], 4),
+                "MR": round(metrics.mean_rank, 1),
+                "cls_acc": round(classification["test_accuracy"], 4),
+            }
+        )
+
+    rows.sort(key=lambda r: r["MRR"], reverse=True)
+    print()
+    print(format_table(rows, title=f"Link prediction on {dataset} (filtered, object-side)"))
+
+    best = rows[0]["model"]
+    print(
+        f"\nfact discovery with the best model ({best}) — no queries needed:"
+    )
+    result = discover_facts(
+        models[best], graph, strategy="cluster_triangles",
+        top_n=50, max_candidates=500, seed=0,
+    )
+    print(
+        f"  {result.num_facts} new facts "
+        f"(MRR={result.mrr():.3f}) in {result.runtime_seconds:.2f}s; "
+        f"link prediction alone could never propose these without "
+        f"someone supplying the {result.candidates_generated:,} candidate queries."
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,81 @@
+"""Quickstart: train a KGE model and discover missing facts.
+
+Runs the full pipeline of the paper on the FB15K-237 replica in under a
+minute:
+
+1. load a benchmark replica,
+2. train a DistMult embedding model,
+3. evaluate it with the standard link-prediction protocol,
+4. run the fact-discovery algorithm (Algorithm 1) with ENTITY FREQUENCY
+   sampling,
+5. print the most plausible newly discovered facts.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import discover_facts, evaluate_ranking, fit, load_dataset
+from repro.kge import ModelConfig, TrainConfig
+
+
+def main() -> None:
+    print("1) loading dataset replica...")
+    graph = load_dataset("fb15k237-like")
+    print(f"   {graph}")
+    print(f"   complement graph size: {graph.complement_size():,} candidate triples")
+
+    print("2) training DistMult...")
+    result = fit(
+        graph,
+        ModelConfig("distmult", dim=32, seed=0),
+        TrainConfig(
+            job="kvsall",
+            loss="bce",
+            epochs=60,
+            batch_size=128,
+            lr=0.05,
+            label_smoothing=0.1,
+        ),
+    )
+    model = result.model
+    print(f"   final training loss: {result.losses[-1]:.4f}")
+
+    print("3) link-prediction evaluation (object-side, filtered)...")
+    metrics = evaluate_ranking(model, graph, split="test")
+    print(
+        f"   test MRR = {metrics.mrr:.3f}, "
+        f"Hits@10 = {metrics.hits[10]:.3f}, "
+        f"mean rank = {metrics.mean_rank:.1f}"
+    )
+
+    print("4) discovering new facts (ENTITY FREQUENCY sampling)...")
+    discovery = discover_facts(
+        model,
+        graph,
+        strategy="entity_frequency",
+        top_n=50,
+        max_candidates=500,
+        seed=0,
+    )
+    print(
+        f"   {discovery.num_facts} facts discovered from "
+        f"{discovery.candidates_generated:,} candidates "
+        f"in {discovery.runtime_seconds:.2f}s "
+        f"(MRR = {discovery.mrr():.3f}, "
+        f"{discovery.efficiency_facts_per_hour():,.0f} facts/hour)"
+    )
+
+    print("5) ten most plausible discoveries:")
+    order = np.argsort(discovery.ranks)[:10]
+    for idx in order:
+        s, r, o = graph.label_triple(tuple(discovery.facts[idx]))
+        print(f"   rank {discovery.ranks[idx]:4.0f}  ({s}, {r}, {o})")
+
+
+if __name__ == "__main__":
+    main()

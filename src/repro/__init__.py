@@ -1,0 +1,80 @@
+"""repro — fact discovery from knowledge graph embeddings.
+
+A from-scratch reproduction of *“Evaluation of Sampling Methods for
+Discovering Facts from Knowledge Graph Embeddings”* (EDBT 2024):
+
+* :mod:`repro.autograd` — numpy autodiff engine (the training substrate);
+* :mod:`repro.kg` — knowledge-graph storage, statistics, dataset replicas;
+* :mod:`repro.kge` — TransE/DistMult/ComplEx/RESCAL/HolE/ConvE models,
+  training and the ranking evaluation protocol;
+* :mod:`repro.discovery` — Algorithm 1 (``discover_facts``), the six
+  sampling strategies, and the exhaustive CHAI-style baseline;
+* :mod:`repro.experiments` — the run matrix, hyperparameter grids and
+  reporting used by the benchmark harness.
+
+Quickstart::
+
+    from repro import FactDiscoveryWorkflow
+    report = FactDiscoveryWorkflow(dataset="fb15k237-like",
+                                   model="distmult",
+                                   strategy="entity_frequency").run()
+    print(report.summary())
+"""
+
+from .discovery import (
+    DiscoveryResult,
+    RuleFilter,
+    available_strategies,
+    create_strategy,
+    discover_facts,
+    exhaustive_discover_facts,
+    heldout_discovery_protocol,
+)
+from .experiments import FactDiscoveryWorkflow, run_matrix
+from .kg import (
+    KnowledgeGraph,
+    TripleSet,
+    available_datasets,
+    dataset_report,
+    load_dataset,
+    load_dataset_dir,
+)
+from .kge import (
+    ModelConfig,
+    TrainConfig,
+    available_models,
+    create_model,
+    evaluate_ranking,
+    fit,
+    load_model,
+    save_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "KnowledgeGraph",
+    "TripleSet",
+    "load_dataset",
+    "available_datasets",
+    "create_model",
+    "available_models",
+    "ModelConfig",
+    "TrainConfig",
+    "fit",
+    "evaluate_ranking",
+    "discover_facts",
+    "exhaustive_discover_facts",
+    "heldout_discovery_protocol",
+    "DiscoveryResult",
+    "RuleFilter",
+    "create_strategy",
+    "available_strategies",
+    "run_matrix",
+    "FactDiscoveryWorkflow",
+    "dataset_report",
+    "load_dataset_dir",
+    "save_model",
+    "load_model",
+]

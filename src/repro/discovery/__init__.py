@@ -1,0 +1,92 @@
+"""Fact discovery from knowledge graph embeddings — the paper's core task.
+
+* :func:`discover_facts` — Algorithm 1, sampling-based candidate
+  generation plus KGE ranking (optionally rule-pruned).
+* The six sampling strategies of §3.1.2 via :func:`create_strategy`.
+* :func:`exhaustive_discover_facts` + :class:`RuleFilter` — the
+  CHAI-style exhaustive baseline of §5.1.
+* :mod:`repro.discovery.metrics` — MRR / efficiency / long-tail metrics.
+* :mod:`repro.discovery.exploration` — exploration-aware strategies
+  (tempered/inverse frequency, mixtures, PageRank), the paper's §6
+  first future direction.
+* :mod:`repro.discovery.protocol` — the held-out evaluation protocol,
+  the paper's §6 third future direction.
+"""
+
+from .anytime import AnytimeResult, anytime_discover
+from .discover import MAX_GENERATION_ITERATIONS, DiscoveryResult, discover_facts
+from .exhaustive import exhaustive_discover_facts
+from .exploration import (
+    InverseFrequency,
+    MixtureStrategy,
+    PageRankStrategy,
+    TemperedFrequency,
+    pagerank,
+)
+from .metrics import (
+    compare_results,
+    discovery_mrr,
+    efficiency_facts_per_hour,
+    long_tail_coverage,
+    theoretical_mrr_floor,
+)
+from .protocol import ProtocolResult, heldout_discovery_protocol, hide_triples
+from .rules import RuleFilter
+from .strategies import (
+    STRATEGY_ABBREVIATIONS,
+    ClusteringCoefficient,
+    ClusteringSquares,
+    ClusteringTriangles,
+    EntityFrequency,
+    GraphDegree,
+    RelationScopedFrequency,
+    SamplingStrategy,
+    UniformRandom,
+    available_strategies,
+    create_strategy,
+)
+
+#: The six strategies evaluated by the paper, in presentation order.
+PAPER_STRATEGY_NAMES = (
+    "uniform_random",
+    "entity_frequency",
+    "graph_degree",
+    "cluster_coefficient",
+    "cluster_triangles",
+    "cluster_squares",
+)
+
+__all__ = [
+    "discover_facts",
+    "DiscoveryResult",
+    "AnytimeResult",
+    "anytime_discover",
+    "MAX_GENERATION_ITERATIONS",
+    "exhaustive_discover_facts",
+    "RuleFilter",
+    "SamplingStrategy",
+    "UniformRandom",
+    "EntityFrequency",
+    "GraphDegree",
+    "ClusteringCoefficient",
+    "ClusteringTriangles",
+    "ClusteringSquares",
+    "RelationScopedFrequency",
+    "TemperedFrequency",
+    "InverseFrequency",
+    "MixtureStrategy",
+    "PageRankStrategy",
+    "pagerank",
+    "available_strategies",
+    "create_strategy",
+    "STRATEGY_ABBREVIATIONS",
+    "PAPER_STRATEGY_NAMES",
+    "discovery_mrr",
+    "efficiency_facts_per_hour",
+    "theoretical_mrr_floor",
+    "long_tail_coverage",
+    "compare_results",
+    "ProtocolResult",
+    "hide_triples",
+    "heldout_discovery_protocol",
+]

@@ -1,0 +1,211 @@
+"""Anytime fact discovery under a wall-clock budget.
+
+Algorithm 1 spends an equal candidate budget on every relation, but
+relations differ wildly in yield: on skewed KGs a few relations produce
+most of the accepted facts.  When discovery runs under a *time budget*
+(the practical regime — the paper's full runs took hours per
+configuration), the scheduling of relations becomes an
+exploration/exploitation problem of its own.
+
+:func:`anytime_discover` treats each relation as an arm of a multi-armed
+bandit.  One *pull* = one mesh-grid generation round for that relation
+plus ranking; the *reward* is the acceptance rate (facts found per
+candidate).  Two schedulers are provided:
+
+* ``"round_robin"`` — the fair baseline (Algorithm 1's implicit order);
+* ``"ucb"`` — UCB1 (Auer et al. 2002): pull the relation maximising
+  ``mean_reward + c·√(2 ln N / n_r)``.
+
+The result is *anytime*: stopping at any point yields the best facts
+found so far, and more budget monotonically extends the set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
+from ..kg.triples import encode_keys
+from ..kge.base import KGEModel
+from ..kge.evaluation import compute_ranks
+from .strategies import SamplingStrategy, create_strategy
+
+__all__ = ["AnytimeResult", "anytime_discover"]
+
+_SCHEDULERS = ("round_robin", "ucb")
+
+
+@dataclass
+class AnytimeResult:
+    """Facts accumulated within the budget plus per-relation accounting."""
+
+    facts: np.ndarray
+    ranks: np.ndarray
+    scheduler: str
+    budget_seconds: float
+    elapsed_seconds: float
+    pulls: dict[int, int] = field(default_factory=dict)
+    rewards: dict[int, float] = field(default_factory=dict)
+    exhausted: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def num_facts(self) -> int:
+        return len(self.facts)
+
+    def mrr(self) -> float:
+        if self.ranks.size == 0:
+            return 0.0
+        return float((1.0 / self.ranks).mean())
+
+    def facts_per_hour(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.num_facts / (self.elapsed_seconds / 3600.0)
+
+
+class _RelationArm:
+    """Bandit bookkeeping for one relation."""
+
+    def __init__(self, relation: int) -> None:
+        self.relation = relation
+        self.pulls = 0
+        self.total_reward = 0.0
+        self.seen_keys: set[int] = set()
+        self.exhausted = False
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.pulls if self.pulls else 0.0
+
+    def ucb_score(self, total_pulls: int, exploration: float) -> float:
+        if self.pulls == 0:
+            return float("inf")
+        bonus = exploration * np.sqrt(2.0 * np.log(max(total_pulls, 1)) / self.pulls)
+        return self.mean_reward + bonus
+
+
+def anytime_discover(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    budget_seconds: float,
+    strategy: str | SamplingStrategy = "entity_frequency",
+    scheduler: str = "ucb",
+    top_n: int = 50,
+    batch_candidates: int = 100,
+    exploration: float = 1.0,
+    seed: int = 0,
+    stats: GraphStatistics | None = None,
+    max_pulls: int = 10_000,
+) -> AnytimeResult:
+    """Discover facts until the wall-clock budget is exhausted.
+
+    Parameters
+    ----------
+    budget_seconds:
+        Wall-clock budget; the loop stops at the first pull boundary after
+        it is spent.
+    scheduler:
+        ``"ucb"`` (bandit) or ``"round_robin"`` (fair baseline).
+    batch_candidates:
+        Candidate budget of a single pull (one mesh-grid round).
+    exploration:
+        UCB exploration constant ``c``; ignored by round-robin.
+    max_pulls:
+        Hard safety cap on the number of pulls.
+    """
+    if scheduler not in _SCHEDULERS:
+        raise ValueError(f"scheduler must be one of {_SCHEDULERS}, got {scheduler!r}")
+    if budget_seconds <= 0:
+        raise ValueError("budget_seconds must be positive")
+    if batch_candidates < 1:
+        raise ValueError("batch_candidates must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    train = graph.train
+    if stats is None:
+        stats = GraphStatistics(train)
+    if isinstance(strategy, str):
+        strategy = create_strategy(strategy)
+    strategy.prepare(stats)
+
+    relations = [int(r) for r in train.unique_relations()]
+    arms = {r: _RelationArm(r) for r in relations}
+    sample_size = int(np.sqrt(batch_candidates)) + 2
+
+    all_facts: list[np.ndarray] = []
+    all_ranks: list[np.ndarray] = []
+    start = time.perf_counter()
+    total_pulls = 0
+    rr_cursor = 0
+
+    while time.perf_counter() - start < budget_seconds and total_pulls < max_pulls:
+        active = [arm for arm in arms.values() if not arm.exhausted]
+        if not active:
+            break
+        if scheduler == "round_robin":
+            arm = active[rr_cursor % len(active)]
+            rr_cursor += 1
+        else:
+            arm = max(
+                active, key=lambda a: a.ucb_score(total_pulls, exploration)
+            )
+        total_pulls += 1
+
+        subjects = strategy.sample(SUBJECT, sample_size, rng, relation=arm.relation)
+        objects = strategy.sample(OBJECT, sample_size, rng, relation=arm.relation)
+        s_grid, o_grid = np.meshgrid(subjects, objects, indexing="ij")
+        candidates = np.stack(
+            [
+                s_grid.ravel(),
+                np.full(s_grid.size, arm.relation, dtype=np.int64),
+                o_grid.ravel(),
+            ],
+            axis=1,
+        )
+        candidates = candidates[candidates[:, 0] != candidates[:, 2]]
+        candidates = candidates[~train.contains(candidates)]
+        keys = encode_keys(candidates, train.num_entities, train.num_relations)
+        fresh = np.asarray(
+            [k not in arm.seen_keys for k in keys.tolist()], dtype=bool
+        )
+        candidates = candidates[fresh][:batch_candidates]
+        arm.seen_keys.update(keys[fresh][:batch_candidates].tolist())
+
+        if len(candidates) == 0:
+            # Nothing new to try for this relation: retire the arm.
+            arm.pulls += 1
+            arm.exhausted = True
+            continue
+
+        ranks = compute_ranks(
+            model, candidates, filter_triples=train, side="object"
+        )
+        keep = ranks <= top_n
+        accepted = int(keep.sum())
+        arm.pulls += 1
+        arm.total_reward += accepted / len(candidates)
+        if accepted:
+            all_facts.append(candidates[keep])
+            all_ranks.append(ranks[keep])
+
+    elapsed = time.perf_counter() - start
+    facts = (
+        np.concatenate(all_facts, axis=0)
+        if all_facts
+        else np.zeros((0, 3), dtype=np.int64)
+    )
+    ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
+    return AnytimeResult(
+        facts=facts,
+        ranks=ranks,
+        scheduler=scheduler,
+        budget_seconds=budget_seconds,
+        elapsed_seconds=elapsed,
+        pulls={r: arms[r].pulls for r in relations},
+        rewards={r: arms[r].mean_reward for r in relations},
+        exhausted={r: arms[r].exhausted for r in relations},
+    )

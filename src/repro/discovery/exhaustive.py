@@ -1,0 +1,122 @@
+"""Exhaustive candidate generation — the CHAI-style baseline (paper §5.1).
+
+Enumerates the complement of the graph per relation (optionally pruned by
+:class:`~repro.discovery.rules.RuleFilter`), scores every candidate, and
+keeps the ones ranking within ``top_n``.  Its cost demonstrates concretely
+why sampling is necessary: even on the scaled-down replicas it evaluates
+orders of magnitude more candidates than Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..kg.graph import KnowledgeGraph
+from ..kge.base import KGEModel
+from ..kge.evaluation import compute_ranks
+from .discover import DiscoveryResult
+from .rules import RuleFilter
+
+__all__ = ["exhaustive_discover_facts"]
+
+
+def _complement_for_relation(
+    graph: KnowledgeGraph, relation: int, drop_self_loops: bool
+) -> np.ndarray:
+    """All non-existing triples with the given relation."""
+    n = graph.num_entities
+    s_grid, o_grid = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    candidates = np.empty((n * n, 3), dtype=np.int64)
+    candidates[:, 0] = s_grid.ravel()
+    candidates[:, 1] = relation
+    candidates[:, 2] = o_grid.ravel()
+    if drop_self_loops:
+        candidates = candidates[candidates[:, 0] != candidates[:, 2]]
+    return candidates[~graph.train.contains(candidates)]
+
+
+def exhaustive_discover_facts(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    top_n: int = 500,
+    relations: list[int] | None = None,
+    rule_filter: RuleFilter | None = None,
+    max_candidates_per_relation: int | None = None,
+    drop_self_loops: bool = True,
+    seed: int = 0,
+) -> DiscoveryResult:
+    """Exhaustively discover facts for the given relations.
+
+    Parameters
+    ----------
+    rule_filter:
+        Optional CHAI-style pruning step applied between generation and
+        scoring.
+    max_candidates_per_relation:
+        Safety cap (uniform subsample) so the baseline stays runnable on
+        larger graphs; ``None`` means the full complement is scored.
+
+    Returns the same :class:`DiscoveryResult` structure as Algorithm 1 so
+    the two approaches can be compared on equal footing.
+    """
+    if relations is None:
+        relations = [int(r) for r in graph.train.unique_relations()]
+    rng = np.random.default_rng(seed)
+
+    all_facts: list[np.ndarray] = []
+    all_ranks: list[np.ndarray] = []
+    per_relation: dict[int, int] = {}
+    generation_seconds = 0.0
+    ranking_seconds = 0.0
+    candidates_generated = 0
+
+    for relation in relations:
+        t0 = time.perf_counter()
+        candidates = _complement_for_relation(graph, relation, drop_self_loops)
+        if rule_filter is not None:
+            candidates = rule_filter.filter(candidates)
+        if (
+            max_candidates_per_relation is not None
+            and len(candidates) > max_candidates_per_relation
+        ):
+            pick = rng.choice(
+                len(candidates), size=max_candidates_per_relation, replace=False
+            )
+            candidates = candidates[pick]
+        generation_seconds += time.perf_counter() - t0
+        candidates_generated += len(candidates)
+        if len(candidates) == 0:
+            per_relation[relation] = 0
+            continue
+
+        t0 = time.perf_counter()
+        ranks = compute_ranks(
+            model, candidates, filter_triples=graph.train, side="object"
+        )
+        ranking_seconds += time.perf_counter() - t0
+
+        keep = ranks <= top_n
+        all_facts.append(candidates[keep])
+        all_ranks.append(ranks[keep])
+        per_relation[relation] = int(keep.sum())
+
+    facts = (
+        np.concatenate(all_facts, axis=0)
+        if all_facts
+        else np.zeros((0, 3), dtype=np.int64)
+    )
+    ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
+    return DiscoveryResult(
+        facts=facts,
+        ranks=ranks,
+        strategy="exhaustive" + ("+rules" if rule_filter is not None else ""),
+        top_n=top_n,
+        max_candidates=candidates_generated,
+        candidates_generated=candidates_generated,
+        generation_seconds=generation_seconds,
+        ranking_seconds=ranking_seconds,
+        weight_seconds=0.0,
+        per_relation=per_relation,
+    )

@@ -1,0 +1,163 @@
+"""Exploration-aware sampling strategies — the paper's first future
+direction (§6).
+
+The six strategies the paper evaluates all *exploit* dense, popular
+regions of the KG, leaving long-tail entities — where missing facts are
+most needed — undiscovered.  This module adds the exploration side of the
+exploration/exploitation dilemma the paper points to:
+
+* :class:`TemperedFrequency` — frequency weights raised to a temperature
+  ``alpha``: ``alpha = 1`` is ENTITY FREQUENCY, ``alpha = 0`` is uniform
+  over active entities, ``alpha < 0`` inverts the popularity bias and
+  targets the long tail.
+* :class:`InverseFrequency` — the registered ``alpha = -1`` instance.
+* :class:`MixtureStrategy` — a convex mixture of arbitrary strategies
+  (e.g. 80 % ENTITY FREQUENCY + 20 % UNIFORM RANDOM: ε-greedy
+  exploration).
+* :class:`PageRankStrategy` — damping-factor random-walk centrality as a
+  popularity metric, computed from scratch by power iteration; a natural
+  companion to GRAPH DEGREE and CLUSTERING TRIANGLES.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
+from .strategies import SamplingStrategy, _SideAgnostic, _normalise, _register
+
+__all__ = [
+    "TemperedFrequency",
+    "InverseFrequency",
+    "MixtureStrategy",
+    "PageRankStrategy",
+    "pagerank",
+]
+
+
+def pagerank(
+    adjacency,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+) -> np.ndarray:
+    """PageRank on an undirected adjacency by power iteration.
+
+    Isolated nodes receive the teleport mass ``(1 - damping) / N`` plus
+    their share of the dangling redistribution, like everyone else.
+    """
+    if not 0.0 <= damping < 1.0:
+        raise ValueError(f"damping must be in [0, 1), got {damping}")
+    n = adjacency.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    degree = np.asarray(adjacency.sum(axis=1)).ravel().astype(np.float64)
+    inv_degree = np.zeros(n)
+    nonzero = degree > 0
+    inv_degree[nonzero] = 1.0 / degree[nonzero]
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iterations):
+        outflow = rank * inv_degree
+        spread = adjacency.T @ outflow
+        dangling = rank[~nonzero].sum() / n
+        new_rank = teleport + damping * (spread + dangling)
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank / rank.sum()
+
+
+class TemperedFrequency(SamplingStrategy):
+    """Side-aware frequency sampling with a temperature exponent.
+
+    ``weight(x, side) ∝ count(x, side)^alpha`` over entities active on
+    that side.  ``alpha`` interpolates between exploitation
+    (``alpha ≥ 1``) and long-tail exploration (``alpha < 0``).
+    """
+
+    name = "tempered_frequency"
+    side_aware = True
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        super().__init__()
+        self.alpha = float(alpha)
+
+    def _compute(self, stats: GraphStatistics):
+        out = {}
+        for side, freq in (
+            (SUBJECT, stats.subject_frequency),
+            (OBJECT, stats.object_frequency),
+        ):
+            pool = np.flatnonzero(freq > 0)
+            weights = freq[pool].astype(np.float64) ** self.alpha
+            out[side] = _normalise(pool, weights)
+        return out
+
+    def __repr__(self) -> str:
+        return f"TemperedFrequency(alpha={self.alpha})"
+
+
+@_register("tempered_frequency")
+class _DefaultTemperedFrequency(TemperedFrequency):
+    """Registry entry with the default temperature (α = 0.5)."""
+
+
+@_register("inverse_frequency")
+class InverseFrequency(TemperedFrequency):
+    """Long-tail sampler: weight ∝ 1 / count (TemperedFrequency α = −1)."""
+
+    name = "inverse_frequency"
+
+    def __init__(self) -> None:
+        super().__init__(alpha=-1.0)
+
+
+class MixtureStrategy(SamplingStrategy):
+    """Convex mixture of sampling strategies.
+
+    The per-entity probability is the weighted sum of the component
+    distributions — e.g. ``MixtureStrategy([EntityFrequency(),
+    UniformRandom()], [0.8, 0.2])`` is an ε-greedy explorer with ε = 0.2.
+    """
+
+    name = "mixture"
+
+    def __init__(
+        self, strategies: list[SamplingStrategy], weights: list[float]
+    ) -> None:
+        super().__init__()
+        if len(strategies) != len(weights) or not strategies:
+            raise ValueError("need equally many strategies and weights (≥ 1)")
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        if (weights_arr < 0).any() or weights_arr.sum() <= 0:
+            raise ValueError("mixture weights must be non-negative, not all zero")
+        self.strategies = list(strategies)
+        self.weights = weights_arr / weights_arr.sum()
+        self.name = "mixture(" + "+".join(s.name for s in strategies) + ")"
+
+    def _compute(self, stats: GraphStatistics):
+        n = stats.triples.num_entities
+        out = {}
+        for side in (SUBJECT, OBJECT):
+            mixed = np.zeros(n)
+            for strategy, weight in zip(self.strategies, self.weights):
+                strategy.prepare(stats)
+                pool, probs = strategy.distribution(side)
+                mixed[pool] += weight * probs
+            pool = np.flatnonzero(mixed > 0)
+            out[side] = _normalise(pool, mixed[pool])
+        return out
+
+
+@_register("pagerank")
+class PageRankStrategy(_SideAgnostic):
+    """Sampling probability ∝ PageRank of the node (power iteration)."""
+
+    def __init__(self, damping: float = 0.85) -> None:
+        super().__init__()
+        self.damping = damping
+
+    def _node_weights(self, stats: GraphStatistics) -> np.ndarray:
+        return pagerank(stats.adjacency, damping=self.damping)

@@ -1,0 +1,89 @@
+"""CHAI-style candidate-filtering rules (Borrego et al., 2019).
+
+The related-work baseline (paper §5.1) prunes "illogical" triples from an
+exhaustively generated candidate set using rules mined from the graph
+itself.  Without an external ontology, the rules observable from a KG are
+domain/range constraints and functionality:
+
+* **Domain rule** — the subject must already appear as a subject of the
+  relation somewhere in the graph.
+* **Range rule** — the object must already appear as an object of the
+  relation.
+* **Functional rule** — if a relation is (near-)functional, subjects that
+  already have an object for it are pruned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kg.triples import TripleSet
+
+__all__ = ["RuleFilter"]
+
+
+class RuleFilter:
+    """Mines per-relation constraints from a triple set and applies them.
+
+    Parameters
+    ----------
+    triples:
+        The training graph from which constraints are mined.
+    functional_threshold:
+        A relation is treated as functional when its average number of
+        objects per subject is below this value.
+    """
+
+    def __init__(self, triples: TripleSet, functional_threshold: float = 1.05) -> None:
+        self.triples = triples
+        self.functional_threshold = functional_threshold
+        self._domains: dict[int, np.ndarray] = {}
+        self._ranges: dict[int, np.ndarray] = {}
+        self._functional: set[int] = set()
+        self._subjects_with_object: dict[int, np.ndarray] = {}
+        self._mine()
+
+    def _mine(self) -> None:
+        for relation in self.triples.unique_relations():
+            rel_triples = self.triples.by_relation(int(relation))
+            subjects = np.unique(rel_triples[:, 0])
+            objects = np.unique(rel_triples[:, 2])
+            self._domains[int(relation)] = subjects
+            self._ranges[int(relation)] = objects
+            objects_per_subject = len(rel_triples) / max(len(subjects), 1)
+            if objects_per_subject <= self.functional_threshold:
+                self._functional.add(int(relation))
+                self._subjects_with_object[int(relation)] = subjects
+
+    @property
+    def functional_relations(self) -> set[int]:
+        """Relations mined as (near-)functional."""
+        return set(self._functional)
+
+    def domain(self, relation: int) -> np.ndarray:
+        """Entities allowed as subjects of ``relation``."""
+        return self._domains.get(int(relation), np.zeros(0, dtype=np.int64))
+
+    def range(self, relation: int) -> np.ndarray:
+        """Entities allowed as objects of ``relation``."""
+        return self._ranges.get(int(relation), np.zeros(0, dtype=np.int64))
+
+    def accept_mask(self, candidates: np.ndarray) -> np.ndarray:
+        """Boolean mask of candidates that pass every mined rule."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.ones(len(candidates), dtype=bool)
+        for relation in np.unique(candidates[:, 1]):
+            rows = candidates[:, 1] == relation
+            rel = int(relation)
+            mask[rows] &= np.isin(candidates[rows, 0], self.domain(rel))
+            mask[rows] &= np.isin(candidates[rows, 2], self.range(rel))
+            if rel in self._functional:
+                saturated = self._subjects_with_object[rel]
+                mask[rows] &= ~np.isin(candidates[rows, 0], saturated)
+        return mask
+
+    def filter(self, candidates: np.ndarray) -> np.ndarray:
+        """Return only the candidates that pass every rule."""
+        return np.asarray(candidates)[self.accept_mask(candidates)]

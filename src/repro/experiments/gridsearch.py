@@ -1,0 +1,85 @@
+"""Hyperparameter analysis for ``top_n`` and ``max_candidates`` (paper §4.3).
+
+Runs the discovery algorithm over grids of the two hyperparameters and
+records runtime, fact count, MRR and efficiency — the data behind
+Figures 7–10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..discovery.discover import discover_facts
+from ..kg.graph import KnowledgeGraph
+from ..kg.stats import GraphStatistics
+from ..kge.base import KGEModel
+
+__all__ = [
+    "GridPoint",
+    "hyperparameter_grid",
+    "PAPER_TOP_N_GRID",
+    "PAPER_MAX_CANDIDATES_GRID",
+]
+
+#: The grids explored in the paper's §4.3.1.
+PAPER_TOP_N_GRID = (100, 200, 300, 400, 500, 700)
+PAPER_MAX_CANDIDATES_GRID = (50, 100, 200, 300, 400, 500, 700)
+
+
+@dataclass
+class GridPoint:
+    """Metrics measured at one (top_n, max_candidates) grid cell."""
+
+    strategy: str
+    top_n: int
+    max_candidates: int
+    num_facts: int
+    mrr: float
+    runtime_seconds: float
+    efficiency_facts_per_hour: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def hyperparameter_grid(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    strategy: str = "uniform_random",
+    top_n_values: tuple[int, ...] = PAPER_TOP_N_GRID,
+    max_candidates_values: tuple[int, ...] = PAPER_MAX_CANDIDATES_GRID,
+    seed: int = 0,
+    stats: GraphStatistics | None = None,
+) -> list[GridPoint]:
+    """Run discovery at every (top_n, max_candidates) grid point.
+
+    Statistics are shared across the grid (the weight computation is not
+    the variable under study here), matching how the paper holds one
+    configuration fixed while sweeping the hyperparameters.
+    """
+    if stats is None:
+        stats = GraphStatistics(graph.train)
+    points: list[GridPoint] = []
+    for max_candidates in max_candidates_values:
+        for top_n in top_n_values:
+            result = discover_facts(
+                model,
+                graph,
+                strategy=strategy,
+                top_n=top_n,
+                max_candidates=max_candidates,
+                seed=seed,
+                stats=stats,
+            )
+            points.append(
+                GridPoint(
+                    strategy=result.strategy,
+                    top_n=top_n,
+                    max_candidates=max_candidates,
+                    num_facts=result.num_facts,
+                    mrr=result.mrr(),
+                    runtime_seconds=result.runtime_seconds,
+                    efficiency_facts_per_hour=result.efficiency_facts_per_hour(),
+                )
+            )
+    return points

@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment results: tables and ASCII series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable in
+a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series", "ascii_bars", "group_rows"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col, ""), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one x column, one column per line/series."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_table(rows, precision=precision, title=title)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Horizontal ASCII bar chart (used for quick figure summaries)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = max(values) if max(values) > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)}  {bar} {_format_cell(float(value), precision)}")
+    return "\n".join(lines)
+
+
+def group_rows(
+    rows: Sequence[Any], key: str
+) -> dict[Any, list[Any]]:
+    """Group dataclass/dict rows by an attribute or key, insertion-ordered."""
+    grouped: dict[Any, list[Any]] = {}
+    for row in rows:
+        value = row[key] if isinstance(row, dict) else getattr(row, key)
+        grouped.setdefault(value, []).append(row)
+    return grouped

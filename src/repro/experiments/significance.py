@@ -1,0 +1,103 @@
+"""Statistical support for the evaluation study.
+
+An experimental comparison paper lives or dies by whether its deltas are
+real; these helpers provide the two standard tools for rank-based KGE
+metrics, implemented from scratch on numpy:
+
+* :func:`bootstrap_mrr_ci` — percentile bootstrap confidence interval of
+  an MRR computed from a rank vector;
+* :func:`paired_sign_test` — exact binomial sign test over paired
+  per-configuration metric values (e.g. EF vs UR across all
+  dataset × model cells of the run matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+__all__ = ["MRRInterval", "bootstrap_mrr_ci", "SignTestResult", "paired_sign_test"]
+
+
+@dataclass(frozen=True)
+class MRRInterval:
+    """Bootstrap confidence interval of an MRR."""
+
+    mrr: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_mrr_ci(
+    ranks: np.ndarray,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> MRRInterval:
+    """Percentile-bootstrap CI of the mean reciprocal rank."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise ValueError("cannot bootstrap an empty rank vector")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    reciprocal = 1.0 / ranks
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(reciprocal, size=(num_resamples, reciprocal.size))
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return MRRInterval(
+        mrr=float(reciprocal.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class SignTestResult:
+    """Outcome of an exact two-sided paired sign test."""
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional α = 0.05 verdict."""
+        return self.p_value < 0.05
+
+
+def paired_sign_test(
+    first: np.ndarray, second: np.ndarray
+) -> SignTestResult:
+    """Exact binomial sign test of ``first > second`` over paired values.
+
+    Ties are discarded (the standard treatment).  The p-value is the
+    exact two-sided binomial tail probability under H₀: P(win) = ½.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError("paired samples must have the same shape")
+    if first.size == 0:
+        raise ValueError("need at least one pair")
+    diff = first - second
+    wins = int((diff > 0).sum())
+    losses = int((diff < 0).sum())
+    ties = int((diff == 0).sum())
+    n = wins + losses
+    if n == 0:
+        return SignTestResult(wins=0, losses=0, ties=ties, p_value=1.0)
+    k = max(wins, losses)
+    # Two-sided exact tail: 2 · P(X >= k), capped at 1.
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / (2.0**n)
+    return SignTestResult(
+        wins=wins, losses=losses, ties=ties, p_value=float(min(1.0, 2.0 * tail))
+    )

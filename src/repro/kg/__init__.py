@@ -1,0 +1,97 @@
+"""Knowledge-graph substrate: triples, vocabularies, statistics, datasets.
+
+Public surface:
+
+* :class:`TripleSet` — integer triple storage with fast membership tests.
+* :class:`KnowledgeGraph` — vocabularies plus train/valid/test splits.
+* :class:`Vocabulary` — label ↔ id mapping.
+* :class:`GraphStatistics` and the free functions in :mod:`repro.kg.stats`
+  — degree, frequency, triangles, clustering coefficients.
+* :func:`load_dataset` — benchmark replica registry (see
+  :mod:`repro.kg.datasets` for the substitution rationale).
+* :func:`generate_kg` / :class:`KGProfile` — synthetic KG generation.
+* :func:`load_dataset_dir` / :func:`save_dataset_dir` — TSV dataset I/O.
+"""
+
+from .analysis import (
+    RelationProfile,
+    cardinality_histogram,
+    dataset_report,
+    powerlaw_exponent,
+    relation_profiles,
+)
+from .datasets import (
+    DATASET_PROFILES,
+    PAPER_METADATA,
+    PaperDatasetMetadata,
+    available_datasets,
+    load_dataset,
+)
+from .generators import KGProfile, generate_kg
+from .graph import KnowledgeGraph
+from .io import load_dataset_dir, read_triples_tsv, save_dataset_dir, write_triples_tsv
+from .stats import (
+    OBJECT,
+    SUBJECT,
+    GraphStatistics,
+    degrees,
+    entity_frequency,
+    global_clustering_coefficient,
+    local_clustering_coefficient,
+    local_triangles,
+    side_entities,
+    square_clustering,
+    to_networkx,
+    undirected_adjacency,
+)
+from .transforms import (
+    InverseLeak,
+    detect_inverse_leakage,
+    filter_relations,
+    induced_subgraph,
+    remove_inverse_leakage,
+    sample_complement,
+)
+from .triples import TripleSet, encode_keys
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "TripleSet",
+    "encode_keys",
+    "KnowledgeGraph",
+    "Vocabulary",
+    "GraphStatistics",
+    "SUBJECT",
+    "OBJECT",
+    "undirected_adjacency",
+    "degrees",
+    "entity_frequency",
+    "side_entities",
+    "to_networkx",
+    "local_triangles",
+    "local_clustering_coefficient",
+    "square_clustering",
+    "global_clustering_coefficient",
+    "KGProfile",
+    "generate_kg",
+    "DATASET_PROFILES",
+    "PAPER_METADATA",
+    "PaperDatasetMetadata",
+    "available_datasets",
+    "load_dataset",
+    "load_dataset_dir",
+    "save_dataset_dir",
+    "read_triples_tsv",
+    "write_triples_tsv",
+    "RelationProfile",
+    "relation_profiles",
+    "cardinality_histogram",
+    "powerlaw_exponent",
+    "dataset_report",
+    "InverseLeak",
+    "detect_inverse_leakage",
+    "remove_inverse_leakage",
+    "induced_subgraph",
+    "filter_relations",
+    "sample_complement",
+]

@@ -1,0 +1,106 @@
+"""TSV triple I/O in the layout used by LibKGE-style benchmark datasets.
+
+A dataset directory contains ``train.txt``, ``valid.txt`` and ``test.txt``,
+each a tab-separated file of ``subject<TAB>relation<TAB>object`` labels.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+from .triples import TripleSet
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "read_triples_tsv",
+    "write_triples_tsv",
+    "load_dataset_dir",
+    "save_dataset_dir",
+]
+
+_SPLIT_FILES = ("train.txt", "valid.txt", "test.txt")
+
+
+def read_triples_tsv(path: Path | str) -> list[tuple[str, str, str]]:
+    """Read label triples from a tab-separated file.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with the
+    offending line number.
+    """
+    triples: list[tuple[str, str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 3 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def write_triples_tsv(
+    path: Path | str, triples: list[tuple[str, str, str]]
+) -> None:
+    """Write label triples to a tab-separated file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for s, r, o in triples:
+            handle.write(f"{s}\t{r}\t{o}\n")
+
+
+def load_dataset_dir(directory: Path | str, name: str | None = None) -> KnowledgeGraph:
+    """Load a dataset directory with train/valid/test TSV splits.
+
+    Vocabularies are built from the union of all splits so that validation
+    and test triples never contain unseen ids.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"dataset directory not found: {directory}")
+    splits = [read_triples_tsv(directory / fname) for fname in _SPLIT_FILES]
+
+    entities = Vocabulary()
+    relations = Vocabulary()
+    for split in splits:
+        for s, r, o in split:
+            entities.add(s)
+            relations.add(r)
+            entities.add(o)
+
+    def encode(split: list[tuple[str, str, str]]) -> np.ndarray:
+        if not split:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.asarray(
+            [
+                (entities.id_of(s), relations.id_of(r), entities.id_of(o))
+                for s, r, o in split
+            ],
+            dtype=np.int64,
+        )
+
+    n, k = len(entities), len(relations)
+    train, valid, test = (TripleSet(encode(split), n, k) for split in splits)
+    return KnowledgeGraph(
+        name=name or directory.name,
+        entities=entities,
+        relations=relations,
+        train=train,
+        valid=valid,
+        test=test,
+    )
+
+
+def save_dataset_dir(graph: KnowledgeGraph, directory: Path | str) -> None:
+    """Write a knowledge graph to a dataset directory (three TSV splits)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for fname, split in zip(_SPLIT_FILES, (graph.train, graph.valid, graph.test)):
+        labelled = [graph.label_triple(t) for t in split]
+        write_triples_tsv(directory / fname, labelled)

@@ -1,0 +1,234 @@
+"""Graph transforms: subgraphs, relation filtering, leakage repair.
+
+The most notable tool here is inverse-relation **test-leakage detection**:
+the construction that produced FB15K-237 from FB15K and WN18RR from WN18
+(paper §4.1.2).  A pair of relations (r, r′) leaks when most (s, r, o)
+triples have a matching (o, r′, s); evaluating on such data lets a model
+score well by memorising the inversion instead of learning semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+from .triples import TripleSet
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "induced_subgraph",
+    "filter_relations",
+    "sample_complement",
+    "InverseLeak",
+    "detect_inverse_leakage",
+    "remove_inverse_leakage",
+]
+
+
+def sample_complement(
+    graph: KnowledgeGraph,
+    count: int,
+    seed: int = 0,
+    max_resample_rounds: int = 32,
+) -> np.ndarray:
+    """Uniformly sample ``count`` distinct triples from the complement.
+
+    The complement of a KG is astronomically larger than the KG itself
+    (|E|²·|R| − |G|), so rejection sampling converges almost immediately;
+    the bounded resampling merely guards against degenerate tiny graphs.
+    Used for building negative test sets and classification baselines.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    capacity = graph.complement_size()
+    if count > capacity:
+        raise ValueError(
+            f"requested {count} complement triples but only {capacity} exist"
+        )
+    rng = np.random.default_rng(seed)
+    known = graph.all_triples()
+    collected = np.zeros((0, 3), dtype=np.int64)
+    for _ in range(max_resample_rounds):
+        need = count - len(collected)
+        if need <= 0:
+            break
+        batch = np.stack(
+            [
+                rng.integers(0, graph.num_entities, 2 * need),
+                rng.integers(0, graph.num_relations, 2 * need),
+                rng.integers(0, graph.num_entities, 2 * need),
+            ],
+            axis=1,
+        )
+        batch = batch[~known.contains(batch)]
+        collected = np.unique(np.concatenate([collected, batch]), axis=0)
+    if len(collected) < count:
+        raise RuntimeError(
+            "failed to collect enough complement triples; the graph is "
+            "nearly complete"
+        )
+    return collected[rng.permutation(len(collected))[:count]]
+
+
+def _rebuild(
+    graph: KnowledgeGraph,
+    train: np.ndarray,
+    valid: np.ndarray,
+    test: np.ndarray,
+    suffix: str,
+) -> KnowledgeGraph:
+    return KnowledgeGraph(
+        name=f"{graph.name}-{suffix}",
+        entities=graph.entities,
+        relations=graph.relations,
+        train=TripleSet(train, graph.num_entities, graph.num_relations),
+        valid=TripleSet(valid, graph.num_entities, graph.num_relations),
+        test=TripleSet(test, graph.num_entities, graph.num_relations),
+        metadata=dict(graph.metadata),
+    )
+
+
+def induced_subgraph(
+    graph: KnowledgeGraph, entity_ids: np.ndarray, compact: bool = True
+) -> KnowledgeGraph:
+    """Subgraph induced by an entity subset (both endpoints must remain).
+
+    With ``compact`` (default) entity and relation ids are re-densified so
+    the result is directly usable for embedding training; otherwise the
+    original id space is kept.
+    """
+    keep = np.zeros(graph.num_entities, dtype=bool)
+    keep[np.asarray(entity_ids, dtype=np.int64)] = True
+
+    def select(split: TripleSet) -> np.ndarray:
+        arr = split.array
+        mask = keep[arr[:, 0]] & keep[arr[:, 2]]
+        return arr[mask]
+
+    train, valid, test = (select(s) for s in (graph.train, graph.valid, graph.test))
+    if not compact:
+        return _rebuild(graph, train, valid, test, "sub")
+
+    used_entities = np.unique(
+        np.concatenate([t[:, [0, 2]].ravel() for t in (train, valid, test)])
+        if len(train) + len(valid) + len(test)
+        else np.zeros(0, dtype=np.int64)
+    )
+    used_relations = np.unique(
+        np.concatenate([t[:, 1] for t in (train, valid, test)])
+        if len(train) + len(valid) + len(test)
+        else np.zeros(0, dtype=np.int64)
+    )
+    entity_map = np.full(graph.num_entities, -1, dtype=np.int64)
+    entity_map[used_entities] = np.arange(len(used_entities))
+    relation_map = np.full(graph.num_relations, -1, dtype=np.int64)
+    relation_map[used_relations] = np.arange(len(used_relations))
+
+    def remap(arr: np.ndarray) -> np.ndarray:
+        out = arr.copy()
+        if out.size:
+            out[:, 0] = entity_map[arr[:, 0]]
+            out[:, 1] = relation_map[arr[:, 1]]
+            out[:, 2] = entity_map[arr[:, 2]]
+        return out
+
+    entities = Vocabulary(
+        graph.entities.label_of(int(e)) for e in used_entities
+    )
+    relations = Vocabulary(
+        graph.relations.label_of(int(r)) for r in used_relations
+    )
+    n, k = max(len(entities), 2), max(len(relations), 1)
+    return KnowledgeGraph(
+        name=f"{graph.name}-sub",
+        entities=entities if len(entities) >= 2 else Vocabulary.from_range("e", 2),
+        relations=relations if len(relations) >= 1 else Vocabulary.from_range("r", 1),
+        train=TripleSet(remap(train), n, k),
+        valid=TripleSet(remap(valid), n, k),
+        test=TripleSet(remap(test), n, k),
+        metadata=dict(graph.metadata),
+    )
+
+
+def filter_relations(graph: KnowledgeGraph, relation_ids) -> KnowledgeGraph:
+    """Keep only the triples of the given relations (id space unchanged)."""
+    wanted = np.zeros(graph.num_relations, dtype=bool)
+    wanted[np.asarray(list(relation_ids), dtype=np.int64)] = True
+
+    def select(split: TripleSet) -> np.ndarray:
+        arr = split.array
+        return arr[wanted[arr[:, 1]]]
+
+    return _rebuild(
+        graph,
+        select(graph.train),
+        select(graph.valid),
+        select(graph.test),
+        "filtered",
+    )
+
+
+@dataclass(frozen=True)
+class InverseLeak:
+    """An (r, r′) relation pair whose triples mirror each other."""
+
+    relation: int
+    inverse: int
+    overlap: float  # fraction of r-triples inverted in r′
+
+
+def detect_inverse_leakage(
+    graph: KnowledgeGraph, threshold: float = 0.8
+) -> list[InverseLeak]:
+    """Find relation pairs (r, r′) with ``|{(s,r,o): (o,r′,s) ∈ G}| / |r|``
+    at or above ``threshold`` over the training split.
+
+    Self-pairs (r, r) are reported too — they indicate symmetric
+    relations, which leak the same way when splits are random.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    train = graph.train
+    arr = train.array
+    leaks = []
+    for relation in train.unique_relations():
+        rel = arr[arr[:, 1] == relation]
+        flipped = rel[:, [2, 1, 0]].copy()
+        for other in train.unique_relations():
+            flipped[:, 1] = other
+            overlap = train.contains(flipped).mean()
+            if overlap >= threshold:
+                leaks.append(
+                    InverseLeak(
+                        relation=int(relation),
+                        inverse=int(other),
+                        overlap=float(overlap),
+                    )
+                )
+    return leaks
+
+
+def remove_inverse_leakage(
+    graph: KnowledgeGraph, threshold: float = 0.8
+) -> tuple[KnowledgeGraph, list[InverseLeak]]:
+    """Drop one relation of each leaking pair — the FB15K-237 recipe.
+
+    For every detected (r, r′) pair with ``r ≠ r′`` the relation with
+    fewer training triples is removed entirely (from all splits).
+    Symmetric self-leaks are left in place, matching how WN18RR retains
+    symmetric relations.  Returns the repaired graph and the detected
+    leaks.
+    """
+    leaks = detect_inverse_leakage(graph, threshold=threshold)
+    counts = np.bincount(graph.train.relations, minlength=graph.num_relations)
+    to_drop: set[int] = set()
+    for leak in leaks:
+        if leak.relation == leak.inverse:
+            continue
+        pair = (leak.relation, leak.inverse)
+        victim = min(pair, key=lambda rel: (counts[rel], rel))
+        to_drop.add(victim)
+    keep = [r for r in range(graph.num_relations) if r not in to_drop]
+    return filter_relations(graph, keep), leaks

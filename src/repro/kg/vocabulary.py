@@ -1,0 +1,74 @@
+"""Bidirectional label ↔ integer-id mapping for entities and relations.
+
+Knowledge-graph triples are stored as integer arrays throughout the library;
+the vocabulary is the single place where human-readable labels live.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """An append-only mapping of string labels to dense integer ids.
+
+    Ids are assigned in insertion order starting at zero, which keeps them
+    usable directly as row indices into embedding matrices.
+    """
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        self._label_to_id: dict[str, int] = {}
+        self._labels: list[str] = []
+        for label in labels:
+            self.add(label)
+
+    def add(self, label: str) -> int:
+        """Insert ``label`` if new and return its id."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._label_to_id[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def id_of(self, label: str) -> int:
+        """Return the id of ``label``; raises ``KeyError`` if unknown."""
+        return self._label_to_id[label]
+
+    def label_of(self, idx: int) -> str:
+        """Return the label of id ``idx``; raises ``IndexError`` if unknown."""
+        if idx < 0:
+            raise IndexError(f"vocabulary ids are non-negative, got {idx}")
+        return self._labels[idx]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._label_to_id
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"
+
+    @property
+    def labels(self) -> list[str]:
+        """All labels in id order (copy)."""
+        return list(self._labels)
+
+    @classmethod
+    def from_range(cls, prefix: str, count: int) -> "Vocabulary":
+        """Create a vocabulary of ``count`` synthetic labels ``prefix_i``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return cls(f"{prefix}_{i}" for i in range(count))

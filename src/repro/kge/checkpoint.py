@@ -1,0 +1,64 @@
+"""Model checkpointing: save/load trained models to a single ``.npz``.
+
+The archive stores the parameter arrays plus a JSON header describing how
+to rebuild the model (registry name, sizes, seed and model-specific
+constructor options from :meth:`KGEModel.config_options`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .base import KGEModel, create_model
+
+__all__ = ["save_model", "load_model"]
+
+_HEADER_KEY = "__repro_header__"
+
+
+def save_model(model: KGEModel, path: Path | str) -> None:
+    """Serialise a model (architecture + parameters) to ``path``.
+
+    The file is a standard ``.npz`` archive and can be inspected with
+    ``numpy.load``.
+    """
+    header = {
+        "model": model.model_name,
+        "num_entities": model.num_entities,
+        "num_relations": model.num_relations,
+        "dim": model.dim,
+        "seed": model.seed,
+        "options": model.config_options(),
+    }
+    payload = model.state_dict()
+    if _HEADER_KEY in payload:
+        raise ValueError(f"parameter name collides with header key {_HEADER_KEY!r}")
+    payload[_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_model(path: Path | str) -> KGEModel:
+    """Rebuild a model saved with :func:`save_model` (evaluation mode)."""
+    stored = np.load(path)
+    if _HEADER_KEY not in stored.files:
+        raise ValueError(f"{path} is not a repro model checkpoint (missing header)")
+    header = json.loads(bytes(stored[_HEADER_KEY].tobytes()).decode("utf-8"))
+    model = create_model(
+        header["model"],
+        num_entities=header["num_entities"],
+        num_relations=header["num_relations"],
+        dim=header["dim"],
+        seed=header["seed"],
+        **header["options"],
+    )
+    state = {key: stored[key] for key in stored.files if key != _HEADER_KEY}
+    model.load_state_dict(state)
+    model.eval()
+    return model

@@ -1,0 +1,63 @@
+"""ComplEx (Trouillon et al., 2016): complex-valued bilinear scoring.
+
+``f(s, r, o) = Re(⟨s, r, conj(o)⟩)``.  Embeddings of total dimension
+``dim`` store the real part in the first half and the imaginary part in
+the second half, as in LibKGE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .base import KGEModel, register_model
+
+__all__ = ["ComplEx"]
+
+
+@register_model("complex")
+class ComplEx(KGEModel):
+    """Complex bilinear factorisation model (provably subsumes HolE)."""
+
+    def __init__(
+        self, num_entities: int, num_relations: int, dim: int, seed: int = 0
+    ) -> None:
+        if dim % 2 != 0:
+            raise ValueError(f"ComplEx needs an even dim (re/im halves), got {dim}")
+        super().__init__(num_entities, num_relations, dim, seed=seed)
+        self.rank = dim // 2
+
+    def _split(self, emb: Tensor) -> tuple[Tensor, Tensor]:
+        h = self.rank
+        return emb[:, :h], emb[:, h:]
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        s_re, s_im = self._split(self.entity_embeddings(s))
+        r_re, r_im = self._split(self.relation_embeddings(r))
+        o_re, o_im = self._split(self.entity_embeddings(o))
+        return (
+            (s_re * r_re * o_re)
+            + (s_im * r_re * o_im)
+            + (s_re * r_im * o_im)
+            - (s_im * r_im * o_re)
+        ).sum(axis=-1)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        s_re, s_im = self._split(self.entity_embeddings(s))
+        r_re, r_im = self._split(self.relation_embeddings(r))
+        # Coefficients of the object's real and imaginary parts.
+        coef_re = s_re * r_re - s_im * r_im
+        coef_im = s_im * r_re + s_re * r_im
+        ent = self.entity_embeddings.weight
+        h = self.rank
+        return coef_re @ ent[:, :h].T + coef_im @ ent[:, h:].T
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        r_re, r_im = self._split(self.relation_embeddings(r))
+        o_re, o_im = self._split(self.entity_embeddings(o))
+        # Coefficients of the subject's real and imaginary parts.
+        coef_re = r_re * o_re + r_im * o_im
+        coef_im = r_re * o_im - r_im * o_re
+        ent = self.entity_embeddings.weight
+        h = self.rank
+        return coef_re @ ent[:, :h].T + coef_im @ ent[:, h:].T

@@ -1,0 +1,96 @@
+"""Configuration objects and grid-search helpers.
+
+In the spirit of LibKGE's yaml job definitions (which the paper singles
+out as the reason for choosing that library), experiments are described by
+small declarative configs that can be expanded into grids.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Iterator
+
+__all__ = ["ModelConfig", "TrainConfig", "expand_grid"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Which model to build and how large.
+
+    ``options`` carries model-specific keyword arguments (e.g. TransE's
+    ``norm``, ConvE's ``num_filters``).
+    """
+
+    name: str = "transe"
+    dim: int = 32
+    seed: int = 0
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def with_(self, **changes) -> "ModelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """How to train a model.
+
+    ``job`` selects the training regime: ``"negative_sampling"`` (margin
+    or BCE loss on corrupted triples), ``"kvsall"`` (BCE against all
+    entities per (s, r) query, ConvE-style), or ``"1vsall"`` (softmax
+    cross-entropy where the true object competes with every entity).
+    """
+
+    job: str = "negative_sampling"
+    loss: str = "margin"
+    epochs: int = 50
+    batch_size: int = 256
+    lr: float = 0.05
+    lr_decay: float = 1.0
+    optimizer: str = "adam"
+    num_negatives: int = 8
+    margin: float = 1.0
+    adversarial_temperature: float = 1.0
+    label_smoothing: float = 0.0
+    weight_decay: float = 0.0
+    corrupt: str = "both"
+    filter_negatives: bool = True
+    eval_every: int = 0
+    early_stopping_patience: int = 0
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.job not in ("negative_sampling", "kvsall", "1vsall"):
+            raise ValueError(f"unknown training job {self.job!r}")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+
+    def with_(self, **changes) -> "TrainConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def expand_grid(space: dict[str, list[Any]]) -> Iterator[dict[str, Any]]:
+    """Expand ``{param: [values...]}`` into the cartesian product of dicts.
+
+    The iteration order is deterministic: parameters vary slowest-first in
+    the order given (like LibKGE's grid-search syntax).
+    """
+    if not space:
+        yield {}
+        return
+    keys = list(space)
+    for values in itertools.product(*(space[k] for k in keys)):
+        yield dict(zip(keys, values))

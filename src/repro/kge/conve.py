@@ -1,0 +1,109 @@
+"""ConvE (Dettmers et al., 2018): convolutional 2-D embeddings.
+
+The subject and relation embeddings are reshaped into 2-D grids, stacked,
+passed through a 3×3 convolution, and projected back to the embedding
+space; the result is matched against every object embedding plus a
+per-entity bias.  ConvE is inherently a ``score_sp`` (1-vs-all) model,
+which fits the paper's object-side corruption protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import BatchNorm, Conv2d, Dropout, Linear, Parameter, Tensor, concatenate
+from .base import KGEModel, register_model
+
+__all__ = ["ConvE"]
+
+
+def _grid_shape(dim: int, height: int | None) -> tuple[int, int]:
+    """Pick a 2-D reshape (h, w) with h·w = dim, h as close to √dim as given."""
+    if height is not None:
+        if dim % height != 0:
+            raise ValueError(f"embedding dim {dim} not divisible by height {height}")
+        return height, dim // height
+    best = 1
+    for h in range(1, int(np.sqrt(dim)) + 1):
+        if dim % h == 0:
+            best = h
+    return best, dim // best
+
+
+@register_model("conve")
+class ConvE(KGEModel):
+    """Convolutional KGE model with batch norm and dropout."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        seed: int = 0,
+        num_filters: int = 16,
+        kernel_size: int = 3,
+        embedding_height: int | None = None,
+        input_dropout: float = 0.2,
+        feature_dropout: float = 0.2,
+        hidden_dropout: float = 0.3,
+    ) -> None:
+        super().__init__(num_entities, num_relations, dim, seed=seed)
+        self.emb_h, self.emb_w = _grid_shape(dim, embedding_height)
+        stacked_h = 2 * self.emb_h
+        if stacked_h < kernel_size or self.emb_w < kernel_size:
+            raise ValueError(
+                f"embedding grid ({stacked_h}×{self.emb_w}) smaller than "
+                f"kernel ({kernel_size})"
+            )
+        conv_h = stacked_h - kernel_size + 1
+        conv_w = self.emb_w - kernel_size + 1
+        flat = num_filters * conv_h * conv_w
+
+        self.conv = Conv2d(1, num_filters, kernel_size, self.rng)
+        self.bn_input = BatchNorm(1)
+        self.bn_conv = BatchNorm(num_filters)
+        self.bn_hidden = BatchNorm(dim)
+        self.fc = Linear(flat, dim, self.rng)
+        self.drop_input = Dropout(input_dropout, self.rng)
+        self.drop_feature = Dropout(feature_dropout, self.rng)
+        self.drop_hidden = Dropout(hidden_dropout, self.rng)
+        self.entity_bias = Parameter(np.zeros(num_entities))
+        self.num_filters = num_filters
+
+    def _hidden(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        """The (B, dim) representation of each (s, r) query."""
+        batch = len(s)
+        s_e = self.entity_embeddings(s).reshape(batch, 1, self.emb_h, self.emb_w)
+        r_e = self.relation_embeddings(r).reshape(batch, 1, self.emb_h, self.emb_w)
+        x = concatenate([s_e, r_e], axis=2)  # (B, 1, 2h, w)
+        x = self.bn_input(x)
+        x = self.drop_input(x)
+        x = self.conv(x)
+        x = self.bn_conv(x)
+        x = x.relu()
+        x = self.drop_feature(x)
+        x = x.reshape(batch, -1)
+        x = self.fc(x)
+        x = self.drop_hidden(x)
+        x = self.bn_hidden(x)
+        return x.relu()
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        hidden = self._hidden(s, r)
+        return hidden @ self.entity_embeddings.weight.T + self.entity_bias
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        hidden = self._hidden(s, r)
+        o_e = self.entity_embeddings(o)
+        o = np.asarray(o, dtype=np.int64)
+        return (hidden * o_e).sum(axis=-1) + self.entity_bias[o]
+
+    def config_options(self) -> dict:
+        return {
+            "num_filters": self.num_filters,
+            "kernel_size": self.conv.kernel_size,
+            "embedding_height": self.emb_h,
+            "input_dropout": self.drop_input.rate,
+            "feature_dropout": self.drop_feature.rate,
+            "hidden_dropout": self.drop_hidden.rate,
+        }

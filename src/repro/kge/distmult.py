@@ -1,0 +1,35 @@
+"""DistMult (Yang et al., 2014): diagonal bilinear scoring.
+
+``f(s, r, o) = sᵀ diag(r) o`` — RESCAL with a diagonality constraint,
+which restricts it to symmetric relation modelling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .base import KGEModel, register_model
+
+__all__ = ["DistMult"]
+
+
+@register_model("distmult")
+class DistMult(KGEModel):
+    """Diagonal bilinear factorisation model."""
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        s_e = self.entity_embeddings(s)
+        r_e = self.relation_embeddings(r)
+        o_e = self.entity_embeddings(o)
+        return (s_e * r_e * o_e).sum(axis=-1)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        s_e = self.entity_embeddings(s)
+        r_e = self.relation_embeddings(r)
+        return (s_e * r_e) @ self.entity_embeddings.weight.T
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        r_e = self.relation_embeddings(r)
+        o_e = self.entity_embeddings(o)
+        return (r_e * o_e) @ self.entity_embeddings.weight.T

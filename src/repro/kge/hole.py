@@ -1,0 +1,43 @@
+"""HolE (Nickel et al., 2016): holographic embeddings.
+
+``f(s, r, o) = rᵀ (s ⋆ o)`` where ``⋆`` is circular correlation.  The
+all-entities scoring forms use the identities
+
+* ``rᵀ (s ⋆ o) = oᵀ (s ∗ r)``  (``∗`` = circular convolution), and
+* ``rᵀ (s ⋆ o) = sᵀ (r ⋆ o)``,
+
+so both directions reduce to one FFT pass plus a matmul over the entity
+table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, circular_convolution, circular_correlation
+from .base import KGEModel, register_model
+
+__all__ = ["HolE"]
+
+
+@register_model("hole")
+class HolE(KGEModel):
+    """Holographic embedding model (equivalent in expressivity to ComplEx)."""
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        s_e = self.entity_embeddings(s)
+        r_e = self.relation_embeddings(r)
+        o_e = self.entity_embeddings(o)
+        return (r_e * circular_correlation(s_e, o_e)).sum(axis=-1)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        s_e = self.entity_embeddings(s)
+        r_e = self.relation_embeddings(r)
+        composed = circular_convolution(s_e, r_e)
+        return composed @ self.entity_embeddings.weight.T
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        r_e = self.relation_embeddings(r)
+        o_e = self.entity_embeddings(o)
+        composed = circular_correlation(r_e, o_e)
+        return composed @ self.entity_embeddings.weight.T

@@ -1,0 +1,141 @@
+"""Reciprocal-relations training (Lacroix et al., 2018; LibKGE's default
+for ConvE-style models).
+
+The wrapped model allocates ``2·K`` relation embeddings: relation ``r``
+for ``(s, r, o)`` queries and ``r + K`` for the inverted query
+``(o, r⁻¹, s)``.  Subject-side scoring then *reuses the object-side code
+path* with the reciprocal relation id, which lets purely ``score_sp``
+models (ConvE) answer both directions and typically improves MRR for the
+others.
+
+Usage::
+
+    model = ReciprocalWrapper.create("conve", num_entities=N,
+                                     num_relations=K, dim=32)
+    train_model(model, graph, TrainConfig(job="kvsall", loss="bce"))
+
+Training jobs see the wrapper like any other model; the wrapper augments
+``score_po`` transparently and hides the doubled relation space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .base import KGEModel, create_model
+
+__all__ = ["ReciprocalWrapper"]
+
+
+class ReciprocalWrapper(KGEModel):
+    """Present a ``2·K``-relation inner model as a ``K``-relation model."""
+
+    model_name = "reciprocal"
+
+    def __init__(self, inner: KGEModel) -> None:
+        if inner.num_relations % 2 != 0:
+            raise ValueError(
+                "inner model must have an even relation count (2·K); got "
+                f"{inner.num_relations}"
+            )
+        # Deliberately do NOT call super().__init__: the wrapper owns no
+        # embeddings of its own.  Initialise the Module plumbing only.
+        self.training = True
+        self.inner = inner
+        self.num_entities = inner.num_entities
+        self.num_relations = inner.num_relations // 2
+        self.dim = inner.dim
+        self.seed = inner.seed
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        seed: int = 0,
+        **kwargs,
+    ) -> "ReciprocalWrapper":
+        """Build an inner model with doubled relations and wrap it."""
+        inner = create_model(
+            name,
+            num_entities=num_entities,
+            num_relations=2 * num_relations,
+            dim=dim,
+            seed=seed,
+            **kwargs,
+        )
+        return cls(inner)
+
+    # ------------------------------------------------------------------
+    # Scoring: forward queries use r, inverted queries use r + K.
+    # ------------------------------------------------------------------
+    def _reciprocal(self, r: np.ndarray) -> np.ndarray:
+        return np.asarray(r, dtype=np.int64) + self.num_relations
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        return self.inner.score_spo(s, r, o)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        return self.inner.score_sp(s, r)
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        return self.inner.score_sp(o, self._reciprocal(r))
+
+    def scores_po(self, r: np.ndarray, o: np.ndarray) -> np.ndarray:
+        return self.inner.scores_sp(np.asarray(o, dtype=np.int64), self._reciprocal(r))
+
+    def scores_sp(self, s: np.ndarray, r: np.ndarray) -> np.ndarray:
+        return self.inner.scores_sp(s, r)
+
+    # ------------------------------------------------------------------
+    # Module plumbing: delegate to the inner model.
+    # ------------------------------------------------------------------
+    def parameters(self):
+        return self.inner.parameters()
+
+    def modules(self):
+        yield self
+        yield from self.inner.modules()
+
+    def train(self):
+        self.training = True
+        self.inner.train()
+        return self
+
+    def eval(self):
+        self.training = False
+        self.inner.eval()
+        return self
+
+    def state_dict(self):
+        return self.inner.state_dict()
+
+    def load_state_dict(self, state):
+        self.inner.load_state_dict(state)
+
+    def post_batch_hook(self) -> None:
+        self.inner.post_batch_hook()
+
+    def entity_matrix(self) -> np.ndarray:
+        return self.inner.entity_matrix()
+
+    def relation_matrix(self) -> np.ndarray:
+        return self.inner.relation_matrix()
+
+    def augment_training_triples(self, triples: np.ndarray) -> np.ndarray:
+        """Training triples plus their reciprocal counterparts.
+
+        ``(s, r, o)`` additionally yields ``(o, r + K, s)`` so the inner
+        model learns both directions; training jobs that consume the
+        *graph's* triples directly should pass them through this method.
+        """
+        triples = np.asarray(triples, dtype=np.int64)
+        inverted = triples[:, [2, 1, 0]].copy()
+        inverted[:, 1] += self.num_relations
+        return np.concatenate([triples, inverted], axis=0)
+
+    def __repr__(self) -> str:
+        return f"ReciprocalWrapper({self.inner!r})"

@@ -1,0 +1,50 @@
+"""RESCAL (Nickel et al., 2011): full bilinear factorisation.
+
+``f(s, r, o) = sᵀ R o`` where each relation owns a dense ``d × d`` matrix
+``R`` (stored flattened in the relation embedding table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .base import KGEModel, register_model
+
+__all__ = ["RESCAL"]
+
+
+@register_model("rescal")
+class RESCAL(KGEModel):
+    """Bilinear model with a full relation matrix per relation."""
+
+    def __init__(
+        self, num_entities: int, num_relations: int, dim: int, seed: int = 0
+    ) -> None:
+        super().__init__(
+            num_entities, num_relations, dim, seed=seed, relation_dim=dim * dim
+        )
+
+    def _relation_matrices(self, r: np.ndarray) -> Tensor:
+        return self.relation_embeddings(r).reshape(len(r), self.dim, self.dim)
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        batch = len(s)
+        s_e = self.entity_embeddings(s).reshape(batch, 1, self.dim)
+        r_m = self._relation_matrices(r)
+        o_e = self.entity_embeddings(o).reshape(batch, self.dim, 1)
+        return (s_e @ r_m @ o_e).reshape(batch)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        batch = len(s)
+        s_e = self.entity_embeddings(s).reshape(batch, 1, self.dim)
+        r_m = self._relation_matrices(r)
+        projected = (s_e @ r_m).reshape(batch, self.dim)  # sᵀR per row
+        return projected @ self.entity_embeddings.weight.T
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        batch = len(r)
+        r_m = self._relation_matrices(r)
+        o_e = self.entity_embeddings(o).reshape(batch, self.dim, 1)
+        projected = (r_m @ o_e).reshape(batch, self.dim)  # R·o per row
+        return projected @ self.entity_embeddings.weight.T

@@ -1,0 +1,74 @@
+"""SimplE (Kazemi & Poole, 2018): fully-expressive CP factorisation.
+
+Each entity owns a *head* and a *tail* embedding; each relation owns a
+forward and an inverse embedding.  The score averages the two directed
+CP products::
+
+    f(s, r, o) = ½ (⟨h_s, r, t_o⟩ + ⟨h_o, r⁻¹, t_s⟩)
+
+Storage convention: the entity table stores ``[head | tail]`` halves of
+total width ``dim``; the relation table stores ``[forward | inverse]``
+halves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .base import KGEModel, register_model
+
+__all__ = ["SimplE"]
+
+
+@register_model("simple")
+class SimplE(KGEModel):
+    """CP-based model made fully expressive via inverse relations."""
+
+    def __init__(
+        self, num_entities: int, num_relations: int, dim: int, seed: int = 0
+    ) -> None:
+        if dim % 2 != 0:
+            raise ValueError(f"SimplE needs an even dim (head/tail halves), got {dim}")
+        super().__init__(num_entities, num_relations, dim, seed=seed)
+        self.rank = dim // 2
+
+    def _entity_halves(self, ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        emb = self.entity_embeddings(ids)
+        h = self.rank
+        return emb[:, :h], emb[:, h:]
+
+    def _relation_halves(self, ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        emb = self.relation_embeddings(ids)
+        h = self.rank
+        return emb[:, :h], emb[:, h:]
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        s_head, s_tail = self._entity_halves(s)
+        o_head, o_tail = self._entity_halves(o)
+        fwd, inv = self._relation_halves(r)
+        forward = (s_head * fwd * o_tail).sum(axis=-1)
+        backward = (o_head * inv * s_tail).sum(axis=-1)
+        return (forward + backward) * 0.5
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        s_head, s_tail = self._entity_halves(s)
+        fwd, inv = self._relation_halves(r)
+        ent = self.entity_embeddings.weight
+        h = self.rank
+        all_head = ent[:, :h]
+        all_tail = ent[:, h:]
+        forward = (s_head * fwd) @ all_tail.T
+        backward = (s_tail * inv) @ all_head.T
+        return (forward + backward) * 0.5
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        o_head, o_tail = self._entity_halves(o)
+        fwd, inv = self._relation_halves(r)
+        ent = self.entity_embeddings.weight
+        h = self.rank
+        all_head = ent[:, :h]
+        all_tail = ent[:, h:]
+        forward = (fwd * o_tail) @ all_head.T
+        backward = (inv * o_head) @ all_tail.T
+        return (forward + backward) * 0.5

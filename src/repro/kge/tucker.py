@@ -1,0 +1,69 @@
+"""TuckER (Balažević et al., 2019): Tucker-decomposition scoring.
+
+A shared core tensor ``W ∈ R^{d_r × d_e × d_e}`` mixes the relation and
+the two entity embeddings::
+
+    f(s, r, o) = W ×₁ r ×₂ s ×₃ o
+
+TuckER subsumes RESCAL, DistMult and ComplEx as special cases of its core
+tensor; it is the most parameter-rich model in the zoo and included as a
+natural extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor
+from .base import KGEModel, register_model
+
+__all__ = ["TuckER"]
+
+
+@register_model("tucker")
+class TuckER(KGEModel):
+    """Tucker factorisation with a learnable core tensor."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        seed: int = 0,
+        relation_dim: int | None = None,
+    ) -> None:
+        rel_dim = relation_dim or dim
+        super().__init__(
+            num_entities, num_relations, dim, seed=seed, relation_dim=rel_dim
+        )
+        self.rel_dim = rel_dim
+        self.core = Parameter(
+            self.rng.uniform(-0.1, 0.1, size=(rel_dim, dim, dim))
+        )
+
+    def _relation_matrices(self, r: np.ndarray) -> Tensor:
+        """Per-query mixing matrix ``M_r = W ×₁ r`` of shape (B, d, d)."""
+        rel = self.relation_embeddings(r)  # (B, d_r)
+        core_mat = self.core.reshape(self.rel_dim, self.dim * self.dim)
+        return (rel @ core_mat).reshape(len(r), self.dim, self.dim)
+
+    def score_spo(self, s: np.ndarray, r: np.ndarray, o: np.ndarray) -> Tensor:
+        batch = len(s)
+        s_e = self.entity_embeddings(s).reshape(batch, 1, self.dim)
+        o_e = self.entity_embeddings(o).reshape(batch, self.dim, 1)
+        return (s_e @ self._relation_matrices(r) @ o_e).reshape(batch)
+
+    def score_sp(self, s: np.ndarray, r: np.ndarray) -> Tensor:
+        batch = len(s)
+        s_e = self.entity_embeddings(s).reshape(batch, 1, self.dim)
+        projected = (s_e @ self._relation_matrices(r)).reshape(batch, self.dim)
+        return projected @ self.entity_embeddings.weight.T
+
+    def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
+        batch = len(r)
+        o_e = self.entity_embeddings(o).reshape(batch, self.dim, 1)
+        projected = (self._relation_matrices(r) @ o_e).reshape(batch, self.dim)
+        return projected @ self.entity_embeddings.weight.T
+
+    def config_options(self) -> dict:
+        return {"relation_dim": self.rel_dim}

@@ -1,0 +1,85 @@
+"""Optimizer tests: convergence on quadratics and parameter validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, Adagrad, Adam, Tensor
+
+
+def _minimise(optimizer_factory, steps: int = 200) -> float:
+    """Minimise ||x - target||² and return the final distance."""
+    target = np.asarray([1.0, -2.0, 3.0])
+    x = Tensor(np.zeros(3), requires_grad=True)
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        diff = x - target
+        (diff * diff).sum().backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestConvergence:
+    def test_sgd(self):
+        assert _minimise(lambda p: SGD(p, lr=0.1)) < 1e-6
+
+    def test_sgd_momentum(self):
+        # Heavy-ball converges at rate √momentum per step on a quadratic.
+        assert _minimise(lambda p: SGD(p, lr=0.05, momentum=0.9), steps=600) < 1e-6
+
+    def test_adagrad(self):
+        assert _minimise(lambda p: Adagrad(p, lr=1.0)) < 1e-3
+
+    def test_adam(self):
+        assert _minimise(lambda p: Adam(p, lr=0.1), steps=400) < 1e-4
+
+    def test_adam_weight_decay_shrinks_solution(self):
+        target = np.asarray([10.0])
+        x_plain = Tensor(np.zeros(1), requires_grad=True)
+        x_decay = Tensor(np.zeros(1), requires_grad=True)
+        plain = Adam([x_plain], lr=0.2)
+        decay = Adam([x_decay], lr=0.2, weight_decay=1.0)
+        for _ in range(500):
+            for x, opt in ((x_plain, plain), (x_decay, decay)):
+                opt.zero_grad()
+                diff = x - target
+                (diff * diff).sum().backward()
+                opt.step()
+        assert x_decay.data[0] < x_plain.data[0]
+
+
+class TestValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.1, momentum=1.0)
+
+    def test_bad_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=0.1, betas=(1.0, 0.9))
+
+    def test_step_skips_gradless_params(self):
+        x = Tensor([1.0], requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        opt.step()  # no backward yet: must not raise or move x
+        np.testing.assert_array_equal(x.data, [1.0])
+
+
+class TestAdamBiasCorrection:
+    def test_first_step_size_is_close_to_lr(self):
+        """With bias correction the very first Adam step ≈ lr·sign(grad)."""
+        x = Tensor([0.0], requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        opt.zero_grad()
+        (x * 3.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(x.data, [-0.1], atol=1e-6)

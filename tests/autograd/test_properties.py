@@ -1,0 +1,104 @@
+"""Hypothesis property tests for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, circular_correlation
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+@given(small_arrays((3, 4)), small_arrays((3, 4)))
+def test_addition_commutes(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(left, right)
+
+
+@given(small_arrays((2, 3)), small_arrays((2, 3)), small_arrays((2, 3)))
+def test_addition_associates(a, b, c):
+    left = ((Tensor(a) + Tensor(b)) + Tensor(c)).data
+    right = (Tensor(a) + (Tensor(b) + Tensor(c))).data
+    np.testing.assert_allclose(left, right, rtol=1e-12, atol=1e-12)
+
+
+@given(small_arrays((4,)))
+def test_double_negation_is_identity(a):
+    np.testing.assert_array_equal((-(-Tensor(a))).data, a)
+
+
+@given(small_arrays((3, 5)))
+def test_sum_gradient_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_array_equal(x.grad, np.ones_like(a))
+
+@given(small_arrays((3, 5)))
+def test_linearity_of_gradient(a):
+    """grad of (2x + 3x) equals grad of 5x."""
+    x1 = Tensor(a.copy(), requires_grad=True)
+    (x1 * 2 + x1 * 3).sum().backward()
+    x2 = Tensor(a.copy(), requires_grad=True)
+    (x2 * 5).sum().backward()
+    np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-12)
+
+
+@given(small_arrays((2, 6)))
+def test_sigmoid_bounded(a):
+    # At |x| ~ 100 float64 saturates to exactly 0/1, so bounds are inclusive.
+    out = Tensor(a).sigmoid().data
+    assert np.all(out >= 0.0)
+    assert np.all(out <= 1.0)
+    moderate = np.abs(a) < 30
+    assert np.all(out[moderate] > 0.0)
+    assert np.all(out[moderate] < 1.0)
+
+
+@given(small_arrays((2, 6)))
+def test_relu_nonnegative_and_idempotent(a):
+    once = Tensor(a).relu()
+    twice = once.relu()
+    assert np.all(once.data >= 0.0)
+    np.testing.assert_array_equal(once.data, twice.data)
+
+
+@given(small_arrays((3, 4)))
+def test_reshape_roundtrip_preserves_gradient(a):
+    x = Tensor(a, requires_grad=True)
+    y = x.reshape(12).reshape(3, 4)
+    (y * 2).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 2.0))
+
+
+@settings(max_examples=25)
+@given(small_arrays((2, 8)), small_arrays((2, 8)))
+def test_circular_correlation_parseval_consistency(a, b):
+    """Σ_k (a ⋆ b)_k == (Σ a)(Σ b) — summing the correlation telescopes."""
+    out = circular_correlation(Tensor(a), Tensor(b)).data
+    np.testing.assert_allclose(
+        out.sum(axis=1), a.sum(axis=1) * b.sum(axis=1), rtol=1e-8, atol=1e-8
+    )
+
+
+@given(small_arrays((4, 3)))
+def test_mean_equals_sum_over_count(a):
+    np.testing.assert_allclose(
+        Tensor(a).mean(axis=0).data, Tensor(a).sum(axis=0).data / 4.0
+    )
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+def test_matmul_shapes(n, m):
+    a = Tensor(np.zeros((n, 3)))
+    b = Tensor(np.zeros((3, m)))
+    assert (a @ b).shape == (n, m)

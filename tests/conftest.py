@@ -1,0 +1,108 @@
+"""Shared fixtures: small graphs and trained models, built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import KGProfile, KnowledgeGraph, TripleSet, generate_kg
+from repro.kge import ModelConfig, TrainConfig, fit
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> KnowledgeGraph:
+    """A small but learnable KG (~40 entities) for fast unit tests."""
+    profile = KGProfile(
+        name="tiny",
+        num_entities=40,
+        num_relations=4,
+        num_triples=420,
+        num_types=4,
+        popularity_exponent=0.8,
+        triangle_closure_prob=0.2,
+        seed=7,
+    )
+    return generate_kg(profile)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> KnowledgeGraph:
+    """A medium KG (~120 entities) for integration-style tests."""
+    profile = KGProfile(
+        name="small",
+        num_entities=120,
+        num_relations=8,
+        num_triples=1500,
+        num_types=6,
+        popularity_exponent=0.85,
+        triangle_closure_prob=0.25,
+        seed=11,
+    )
+    return generate_kg(profile)
+
+
+@pytest.fixture(scope="session")
+def trained_distmult(tiny_graph):
+    """A DistMult model trained to usable quality on the tiny graph."""
+    result = fit(
+        tiny_graph,
+        ModelConfig("distmult", dim=16, seed=0),
+        TrainConfig(
+            job="kvsall",
+            loss="bce",
+            epochs=40,
+            batch_size=64,
+            lr=0.05,
+            label_smoothing=0.1,
+        ),
+    )
+    return result.model
+
+
+@pytest.fixture(scope="session")
+def trained_transe(tiny_graph):
+    """A TransE model trained with margin loss on the tiny graph."""
+    result = fit(
+        tiny_graph,
+        ModelConfig("transe", dim=16, seed=0, options={"norm": "l1"}),
+        TrainConfig(
+            job="negative_sampling",
+            loss="margin",
+            epochs=40,
+            batch_size=64,
+            lr=0.01,
+            num_negatives=4,
+            margin=2.0,
+        ),
+    )
+    return result.model
+
+
+@pytest.fixture()
+def triangle_triples() -> TripleSet:
+    """3 entities in a directed triangle: known statistics by hand."""
+    return TripleSet(
+        np.asarray([[0, 0, 1], [1, 0, 2], [2, 0, 0]]),
+        num_entities=3,
+        num_relations=1,
+    )
+
+
+@pytest.fixture()
+def star_triples() -> TripleSet:
+    """A 5-node star (hub = 0): hub degree 4, clustering coefficient 0."""
+    return TripleSet(
+        np.asarray([[0, 0, 1], [0, 0, 2], [0, 0, 3], [0, 0, 4]]),
+        num_entities=5,
+        num_relations=1,
+    )
+
+
+@pytest.fixture()
+def square_triples() -> TripleSet:
+    """A 4-cycle: every node is in exactly one square, no triangles."""
+    return TripleSet(
+        np.asarray([[0, 0, 1], [1, 0, 2], [2, 0, 3], [3, 0, 0]]),
+        num_entities=4,
+        num_relations=1,
+    )

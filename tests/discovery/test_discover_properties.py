@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the discovery pipeline.
+
+Random small graphs + an untrained (but deterministic) model: the
+algorithm's structural invariants must hold for *any* input, not just the
+fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import discover_facts
+from repro.kg import KGProfile, encode_keys, generate_kg
+from repro.kge import create_model
+
+_MODEL_CACHE: dict[tuple, object] = {}
+_GRAPH_CACHE: dict[tuple, object] = {}
+
+
+def _graph(n, k, seed):
+    key = (n, k, seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = generate_kg(
+            KGProfile(
+                name="prop",
+                num_entities=n,
+                num_relations=k,
+                num_triples=min(6 * n, n * n * k // 4),
+                num_types=3,
+                seed=seed,
+            )
+        )
+    return _GRAPH_CACHE[key]
+
+
+def _model(graph, seed):
+    key = (graph.num_entities, graph.num_relations, seed)
+    if key not in _MODEL_CACHE:
+        model = create_model(
+            "distmult",
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            dim=8,
+            seed=seed,
+        )
+        model.eval()
+        _MODEL_CACHE[key] = model
+    return _MODEL_CACHE[key]
+
+
+graph_params = st.tuples(
+    st.integers(12, 40),  # entities
+    st.integers(1, 4),    # relations
+    st.integers(0, 50),   # graph seed
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph_params, st.integers(1, 30), st.integers(4, 80), st.integers(0, 5))
+def test_invariants_hold_for_any_graph(params, top_n, max_candidates, seed):
+    n, k, graph_seed = params
+    graph = _graph(n, k, graph_seed)
+    model = _model(graph, seed=1)
+    result = discover_facts(
+        model, graph, strategy="entity_frequency",
+        top_n=top_n, max_candidates=max_candidates, seed=seed,
+    )
+    # Ranks are within [1, top_n] and aligned with facts.
+    assert len(result.facts) == len(result.ranks)
+    if result.num_facts:
+        assert result.ranks.min() >= 1.0
+        assert result.ranks.max() <= top_n
+        # No discovered fact exists in the training graph.
+        assert not graph.train.contains(result.facts).any()
+        # No duplicates.
+        keys = encode_keys(result.facts, n, k)
+        assert len(np.unique(keys)) == len(keys)
+        # Ids in range.
+        assert result.facts[:, [0, 2]].max() < n
+        assert result.facts[:, 1].max() < k
+    # Budget respected per relation.
+    for count in result.per_relation.values():
+        assert count <= max_candidates
+    # MRR within theoretical bounds.
+    assert 0.0 <= result.mrr() <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100))
+def test_determinism_over_seeds(seed):
+    graph = _graph(25, 2, 7)
+    model = _model(graph, seed=1)
+    kwargs = dict(strategy="graph_degree", top_n=10, max_candidates=36, seed=seed)
+    a = discover_facts(model, graph, **kwargs)
+    b = discover_facts(model, graph, **kwargs)
+    np.testing.assert_array_equal(a.facts, b.facts)
+    np.testing.assert_array_equal(a.ranks, b.ranks)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 30))
+def test_top_n_monotonicity(top_n):
+    """The discovered-fact set grows monotonically with top_n."""
+    graph = _graph(25, 2, 7)
+    model = _model(graph, seed=1)
+    small = discover_facts(
+        model, graph, strategy="entity_frequency",
+        top_n=top_n, max_candidates=64, seed=3,
+    )
+    large = discover_facts(
+        model, graph, strategy="entity_frequency",
+        top_n=top_n + 5, max_candidates=64, seed=3,
+    )
+    small_keys = set(encode_keys(small.facts, 25, 2).tolist())
+    large_keys = set(encode_keys(large.facts, 25, 2).tolist())
+    assert small_keys <= large_keys

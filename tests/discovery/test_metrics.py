@@ -1,0 +1,66 @@
+"""Discovery-metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import (
+    compare_results,
+    discover_facts,
+    discovery_mrr,
+    efficiency_facts_per_hour,
+    theoretical_mrr_floor,
+)
+
+
+class TestDiscoveryMRR:
+    def test_known_value(self):
+        assert discovery_mrr(np.asarray([1.0, 2.0, 4.0])) == pytest.approx(
+            (1 + 0.5 + 0.25) / 3
+        )
+
+    def test_empty_is_zero(self):
+        assert discovery_mrr(np.zeros(0)) == 0.0
+
+    def test_rejects_sub_one_ranks(self):
+        with pytest.raises(ValueError):
+            discovery_mrr(np.asarray([0.5]))
+
+
+class TestEfficiency:
+    def test_facts_per_hour(self):
+        assert efficiency_facts_per_hour(100, 3600.0) == pytest.approx(100.0)
+
+    def test_rejects_zero_runtime(self):
+        with pytest.raises(ValueError):
+            efficiency_facts_per_hour(10, 0.0)
+
+    def test_rejects_negative_facts(self):
+        with pytest.raises(ValueError):
+            efficiency_facts_per_hour(-1, 10.0)
+
+
+class TestTheoreticalFloor:
+    def test_paper_value(self):
+        """§4.2.2: top_n = 500 implies an MRR floor of 0.002."""
+        assert theoretical_mrr_floor(500) == pytest.approx(0.002)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            theoretical_mrr_floor(0)
+
+
+class TestCompare:
+    def test_sorted_by_mrr(self, trained_distmult, tiny_graph):
+        results = {
+            name: discover_facts(
+                trained_distmult, tiny_graph, strategy=name, top_n=15,
+                max_candidates=64, seed=0,
+            )
+            for name in ("uniform_random", "entity_frequency")
+        }
+        rows = compare_results(results)
+        assert len(rows) == 2
+        assert rows[0]["mrr"] >= rows[1]["mrr"]
+        assert {"label", "num_facts", "runtime_seconds"} <= set(rows[0])

@@ -1,0 +1,83 @@
+"""Tests for the CHAI-style rule filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import RuleFilter
+from repro.kg import TripleSet
+
+
+@pytest.fixture()
+def kb() -> TripleSet:
+    # Relation 0: subjects {0, 1}, objects {5, 6}; one object per subject
+    # (functional).  Relation 1: subject 2 with three objects (not
+    # functional).
+    triples = [
+        [0, 0, 5],
+        [1, 0, 6],
+        [2, 1, 5],
+        [2, 1, 6],
+        [2, 1, 7],
+    ]
+    return TripleSet(np.asarray(triples), 10, 2)
+
+
+class TestMining:
+    def test_domains_and_ranges(self, kb):
+        rules = RuleFilter(kb)
+        np.testing.assert_array_equal(rules.domain(0), [0, 1])
+        np.testing.assert_array_equal(rules.range(0), [5, 6])
+        np.testing.assert_array_equal(rules.domain(1), [2])
+        np.testing.assert_array_equal(rules.range(1), [5, 6, 7])
+
+    def test_functional_detection(self, kb):
+        rules = RuleFilter(kb)
+        assert 0 in rules.functional_relations
+        assert 1 not in rules.functional_relations
+
+    def test_unknown_relation_has_empty_domain(self, kb):
+        rules = RuleFilter(kb)
+        assert rules.domain(9).size == 0
+
+
+class TestFiltering:
+    def test_domain_violation_rejected(self, kb):
+        rules = RuleFilter(kb)
+        # Subject 9 never appears as a subject of relation 1.
+        mask = rules.accept_mask(np.asarray([[9, 1, 5]]))
+        assert not mask[0]
+
+    def test_range_violation_rejected(self, kb):
+        rules = RuleFilter(kb)
+        mask = rules.accept_mask(np.asarray([[2, 1, 0]]))
+        assert not mask[0]
+
+    def test_functional_saturated_subject_rejected(self, kb):
+        rules = RuleFilter(kb)
+        # Subject 0 already has an object for functional relation 0.
+        mask = rules.accept_mask(np.asarray([[0, 0, 6]]))
+        assert not mask[0]
+
+    def test_valid_nonfunctional_candidate_accepted(self, kb):
+        rules = RuleFilter(kb)
+        # Relation 1 is not functional; subject 2 may gain new objects from
+        # the observed range.
+        mask = rules.accept_mask(np.asarray([[2, 1, 5]]))
+        assert mask[0]
+
+    def test_filter_returns_accepted_rows(self, kb):
+        rules = RuleFilter(kb)
+        candidates = np.asarray([[2, 1, 5], [9, 1, 5], [2, 1, 0]])
+        accepted = rules.filter(candidates)
+        np.testing.assert_array_equal(accepted, [[2, 1, 5]])
+
+    def test_empty_input(self, kb):
+        rules = RuleFilter(kb)
+        assert rules.accept_mask(np.zeros((0, 3))).shape == (0,)
+
+    def test_threshold_controls_functionality(self, kb):
+        # With a huge threshold even relation 1 counts as functional.
+        rules = RuleFilter(kb, functional_threshold=10.0)
+        assert 1 in rules.functional_relations

@@ -1,0 +1,232 @@
+"""Sampling-strategy tests: exact weight formulas on hand-built graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import GraphStatistics, TripleSet
+from repro.kg.stats import OBJECT, SUBJECT
+from repro.discovery import (
+    STRATEGY_ABBREVIATIONS,
+    available_strategies,
+    create_strategy,
+)
+
+
+def stats_for(triples, n, k=1) -> GraphStatistics:
+    return GraphStatistics(
+        TripleSet(np.asarray(triples, dtype=np.int64), n, k), backend="sparse"
+    )
+
+
+class TestRegistry:
+    def test_paper_strategies_first_in_paper_order(self):
+        assert available_strategies()[:6] == [
+            "uniform_random",
+            "entity_frequency",
+            "graph_degree",
+            "cluster_coefficient",
+            "cluster_triangles",
+            "cluster_squares",
+        ]
+
+    def test_extension_strategies_registered(self):
+        extensions = {"tempered_frequency", "inverse_frequency", "pagerank"}
+        assert extensions <= set(available_strategies())
+
+    def test_abbreviations_cover_all(self):
+        assert set(STRATEGY_ABBREVIATIONS) == set(available_strategies())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            create_strategy("betweenness")
+
+    def test_use_before_prepare_raises(self):
+        strategy = create_strategy("uniform_random")
+        with pytest.raises(RuntimeError):
+            strategy.distribution(SUBJECT)
+
+    def test_invalid_side_raises(self):
+        strategy = create_strategy("uniform_random")
+        strategy.prepare(stats_for([[0, 0, 1]], 3))
+        with pytest.raises(ValueError):
+            strategy.distribution("middle")
+
+
+class TestUniformRandom:
+    def test_equal_weights_over_side_pool(self):
+        # Subjects: {0, 1}; objects: {1, 2, 3}.
+        strategy = create_strategy("uniform_random")
+        strategy.prepare(stats_for([[0, 0, 1], [1, 0, 2], [1, 0, 3]], 5))
+        pool_s, probs_s = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(pool_s, [0, 1])
+        np.testing.assert_allclose(probs_s, 0.5)
+        pool_o, probs_o = strategy.distribution(OBJECT)
+        np.testing.assert_array_equal(pool_o, [1, 2, 3])
+        np.testing.assert_allclose(probs_o, 1.0 / 3.0)
+
+    def test_sides_may_differ(self):
+        """The paper notes an entity's weight may differ per side."""
+        strategy = create_strategy("uniform_random")
+        strategy.prepare(stats_for([[0, 0, 1], [1, 0, 2], [1, 0, 3]], 5))
+        _, probs_s = strategy.distribution(SUBJECT)
+        _, probs_o = strategy.distribution(OBJECT)
+        assert probs_s[0] != probs_o[0]
+
+
+class TestEntityFrequency:
+    def test_weights_proportional_to_counts(self):
+        # Subject counts: 0 appears 3×, 1 appears 1×.
+        strategy = create_strategy("entity_frequency")
+        strategy.prepare(
+            stats_for([[0, 0, 1], [0, 0, 2], [0, 0, 3], [1, 0, 2]], 5)
+        )
+        pool, probs = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(pool, [0, 1])
+        np.testing.assert_allclose(probs, [0.75, 0.25])
+
+    def test_is_side_aware(self):
+        assert create_strategy("entity_frequency").side_aware
+
+
+class TestGraphDegree:
+    def test_weights_proportional_to_degree(self, star_triples):
+        strategy = create_strategy("graph_degree")
+        strategy.prepare(GraphStatistics(star_triples, backend="sparse"))
+        pool, probs = strategy.distribution(SUBJECT)
+        # Hub degree 4, leaves degree 1 each: total 8.
+        hub = probs[pool == 0]
+        np.testing.assert_allclose(hub, 0.5)
+
+    def test_sides_identical(self, star_triples):
+        strategy = create_strategy("graph_degree")
+        strategy.prepare(GraphStatistics(star_triples, backend="sparse"))
+        pool_s, probs_s = strategy.distribution(SUBJECT)
+        pool_o, probs_o = strategy.distribution(OBJECT)
+        np.testing.assert_array_equal(pool_s, pool_o)
+        np.testing.assert_array_equal(probs_s, probs_o)
+
+    def test_not_side_aware(self):
+        assert not create_strategy("graph_degree").side_aware
+
+
+class TestClusteringTriangles:
+    def test_triangle_nodes_weighted(self, triangle_triples):
+        strategy = create_strategy("cluster_triangles")
+        strategy.prepare(GraphStatistics(triangle_triples, backend="sparse"))
+        pool, probs = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(pool, [0, 1, 2])
+        np.testing.assert_allclose(probs, 1.0 / 3.0)
+
+    def test_triangle_free_graph_falls_back_to_uniform(self, star_triples):
+        strategy = create_strategy("cluster_triangles")
+        strategy.prepare(GraphStatistics(star_triples, backend="sparse"))
+        pool, probs = strategy.distribution(SUBJECT)
+        assert len(pool) == 5
+        np.testing.assert_allclose(probs, 0.2)
+
+
+class TestClusteringCoefficient:
+    def test_star_hub_gets_zero_weight(self):
+        """The paper's core criticism: popular hub, clustering weight 0."""
+        # Star (hub 0) plus a triangle among 5, 6, 7 so not all weights
+        # vanish.
+        triples = [[0, 0, 1], [0, 0, 2], [0, 0, 3], [0, 0, 4],
+                   [5, 0, 6], [6, 0, 7], [7, 0, 5]]
+        strategy = create_strategy("cluster_coefficient")
+        strategy.prepare(stats_for(triples, 8))
+        pool, probs = strategy.distribution(SUBJECT)
+        assert 0 not in pool  # hub excluded: weight zero
+        np.testing.assert_array_equal(pool, [5, 6, 7])
+
+
+class TestClusteringSquares:
+    def test_square_nodes_weighted(self, square_triples):
+        strategy = create_strategy("cluster_squares")
+        strategy.prepare(GraphStatistics(square_triples, backend="sparse"))
+        pool, probs = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(pool, [0, 1, 2, 3])
+        np.testing.assert_allclose(probs, 0.25)
+
+
+class TestRelationScopedFrequency:
+    def test_scoped_pools_match_relation_domain_range(self):
+        # Relation 0: subjects {0, 1}, objects {5}.  Relation 1: subjects
+        # {2}, objects {6, 7}.
+        triples = [[0, 0, 5], [1, 0, 5], [2, 1, 6], [2, 1, 7]]
+        strategy = create_strategy("relation_frequency")
+        strategy.prepare(stats_for(triples, 10, k=2))
+        pool_s, _ = strategy.distribution(SUBJECT, relation=0)
+        np.testing.assert_array_equal(pool_s, [0, 1])
+        pool_o, _ = strategy.distribution(OBJECT, relation=0)
+        np.testing.assert_array_equal(pool_o, [5])
+        pool_s1, _ = strategy.distribution(SUBJECT, relation=1)
+        np.testing.assert_array_equal(pool_s1, [2])
+
+    def test_weights_proportional_to_scoped_counts(self):
+        triples = [[0, 0, 5], [0, 0, 6], [0, 0, 7], [1, 0, 5]]
+        strategy = create_strategy("relation_frequency")
+        strategy.prepare(stats_for(triples, 10, k=1))
+        pool, probs = strategy.distribution(SUBJECT, relation=0)
+        by_entity = dict(zip(pool.tolist(), probs.tolist()))
+        assert by_entity[0] == pytest.approx(0.75)
+        assert by_entity[1] == pytest.approx(0.25)
+
+    def test_unknown_relation_falls_back_to_global(self):
+        triples = [[0, 0, 5], [1, 0, 6]]
+        strategy = create_strategy("relation_frequency")
+        strategy.prepare(stats_for(triples, 10, k=3))
+        scoped = strategy.distribution(SUBJECT, relation=2)  # never observed
+        global_dist = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(scoped[0], global_dist[0])
+
+    def test_no_relation_argument_is_global(self):
+        triples = [[0, 0, 5], [1, 1, 6]]
+        strategy = create_strategy("relation_frequency")
+        strategy.prepare(stats_for(triples, 10, k=2))
+        pool, _ = strategy.distribution(SUBJECT)
+        np.testing.assert_array_equal(pool, [0, 1])
+
+    def test_discovery_candidates_respect_domain_range(
+        self, trained_distmult, tiny_graph
+    ):
+        from repro.discovery import RuleFilter, discover_facts
+
+        result = discover_facts(
+            trained_distmult, tiny_graph, strategy="relation_frequency",
+            top_n=tiny_graph.num_entities, max_candidates=100, seed=0,
+        )
+        if result.num_facts:
+            rules = RuleFilter(tiny_graph.train, functional_threshold=0.0)
+            # Domain/range rules only (threshold 0 disables functional).
+            for relation in np.unique(result.facts[:, 1]):
+                rel_facts = result.facts[result.facts[:, 1] == relation]
+                assert np.isin(rel_facts[:, 0], rules.domain(int(relation))).all()
+                assert np.isin(rel_facts[:, 2], rules.range(int(relation))).all()
+
+
+class TestSampling:
+    def test_sample_without_replacement_when_pool_allows(self):
+        strategy = create_strategy("uniform_random")
+        strategy.prepare(stats_for([[i, 0, (i + 1) % 10] for i in range(10)], 10))
+        rng = np.random.default_rng(0)
+        sample = strategy.sample(SUBJECT, 5, rng)
+        assert len(sample) == 5
+        assert len(np.unique(sample)) == 5
+
+    def test_sample_caps_at_pool_size(self):
+        strategy = create_strategy("uniform_random")
+        strategy.prepare(stats_for([[0, 0, 1], [1, 0, 2]], 5))
+        rng = np.random.default_rng(0)
+        sample = strategy.sample(SUBJECT, 100, rng)
+        assert set(sample) == {0, 1}
+
+    def test_frequency_sampling_prefers_frequent(self):
+        triples = [[0, 0, i] for i in range(1, 9)] + [[1, 0, 2]]
+        strategy = create_strategy("entity_frequency")
+        strategy.prepare(stats_for(triples, 10))
+        rng = np.random.default_rng(0)
+        draws = [strategy.sample(SUBJECT, 1, rng)[0] for _ in range(200)]
+        counts = np.bincount(draws, minlength=2)
+        assert counts[0] > counts[1]

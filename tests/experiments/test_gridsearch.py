@@ -1,0 +1,51 @@
+"""Hyperparameter-grid tests (the machinery behind Figures 7–10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_MAX_CANDIDATES_GRID,
+    PAPER_TOP_N_GRID,
+    hyperparameter_grid,
+)
+from repro.kg import GraphStatistics
+
+
+class TestPaperGrids:
+    def test_values_match_section_431(self):
+        assert PAPER_TOP_N_GRID == (100, 200, 300, 400, 500, 700)
+        assert PAPER_MAX_CANDIDATES_GRID == (50, 100, 200, 300, 400, 500, 700)
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def points(self, trained_distmult, tiny_graph):
+        return hyperparameter_grid(
+            trained_distmult,
+            tiny_graph,
+            strategy="uniform_random",
+            top_n_values=(5, 20),
+            max_candidates_values=(25, 64),
+            seed=0,
+            stats=GraphStatistics(tiny_graph.train),
+        )
+
+    def test_full_grid_size(self, points):
+        assert len(points) == 4
+
+    def test_points_carry_parameters(self, points):
+        combos = {(p.top_n, p.max_candidates) for p in points}
+        assert combos == {(5, 25), (5, 64), (20, 25), (20, 64)}
+
+    def test_more_top_n_never_fewer_facts(self, points):
+        """§4.3.1: raising top_n only adds facts for fixed candidates."""
+        by_candidates = {}
+        for p in points:
+            by_candidates.setdefault(p.max_candidates, {})[p.top_n] = p.num_facts
+        for counts in by_candidates.values():
+            assert counts[20] >= counts[5]
+
+    def test_to_dict(self, points):
+        data = points[0].to_dict()
+        assert {"strategy", "top_n", "max_candidates", "mrr"} <= set(data)

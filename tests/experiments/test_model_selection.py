@@ -1,0 +1,62 @@
+"""Tests for the model grid-search driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import grid_search_models
+from repro.kge import ModelConfig, TrainConfig
+
+_BASE_TRAIN = TrainConfig(
+    job="kvsall", loss="bce", epochs=6, batch_size=64, lr=0.05,
+    label_smoothing=0.1,
+)
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def search(self, tiny_graph):
+        return grid_search_models(
+            tiny_graph,
+            ModelConfig("distmult", dim=8, seed=0),
+            _BASE_TRAIN,
+            model_grid={"dim": [8, 16]},
+            train_grid={"lr": [0.01, 0.05]},
+        )
+
+    def test_all_combinations_trained(self, search):
+        assert len(search.trials) == 4
+
+    def test_sorted_best_first(self, search):
+        mrrs = [t.valid_mrr for t in search.trials]
+        assert mrrs == sorted(mrrs, reverse=True)
+        assert search.best.valid_mrr == mrrs[0]
+
+    def test_leaderboard_rows(self, search):
+        rows = search.leaderboard()
+        assert len(rows) == 4
+        assert {"model", "dim", "lr", "valid_mrr"} <= set(rows[0])
+
+    def test_configs_recorded_faithfully(self, search):
+        combos = {(t.model_config.dim, t.train_config.lr) for t in search.trials}
+        assert combos == {(8, 0.01), (8, 0.05), (16, 0.01), (16, 0.05)}
+
+    def test_option_grid(self, tiny_graph):
+        search = grid_search_models(
+            tiny_graph,
+            ModelConfig("transe", dim=8, seed=0),
+            TrainConfig(
+                job="negative_sampling", loss="margin", epochs=4,
+                batch_size=64, lr=0.01,
+            ),
+            option_grid={"norm": ["l1", "l2"]},
+        )
+        assert len(search.trials) == 2
+        norms = {t.model_config.options["norm"] for t in search.trials}
+        assert norms == {"l1", "l2"}
+
+    def test_empty_grids_run_single_trial(self, tiny_graph):
+        search = grid_search_models(
+            tiny_graph, ModelConfig("distmult", dim=8, seed=0), _BASE_TRAIN
+        )
+        assert len(search.trials) == 1

@@ -1,0 +1,79 @@
+"""Tests for the ASCII table/series renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ascii_bars, format_series, format_table, group_rows
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="T").splitlines()[0] == "T"
+
+    def test_float_precision(self):
+        text = format_table([{"v": 0.123456}], precision=2)
+        assert "0.12" in text
+
+    def test_large_floats_get_thousands_separator(self):
+        assert "12,000" in format_table([{"v": 12000.0}])
+
+    def test_nan_renders_dash(self):
+        assert "-" in format_table([{"v": float("nan")}])
+
+    def test_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_key_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text  # renders without KeyError
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("x", [1, 2], {"line": [0.1, 0.2]})
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestAsciiBars:
+    def test_peak_gets_full_width(self):
+        text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(no data)" in ascii_bars([], [])
+
+    def test_all_zero_values(self):
+        text = ascii_bars(["a"], [0.0])
+        assert "a" in text
+
+
+class TestGroupRows:
+    def test_groups_dicts(self):
+        rows = [{"k": "x", "v": 1}, {"k": "y", "v": 2}, {"k": "x", "v": 3}]
+        grouped = group_rows(rows, "k")
+        assert [r["v"] for r in grouped["x"]] == [1, 3]
+
+    def test_groups_objects(self):
+        class Row:
+            def __init__(self, k):
+                self.k = k
+
+        grouped = group_rows([Row("a"), Row("b"), Row("a")], "k")
+        assert len(grouped["a"]) == 2

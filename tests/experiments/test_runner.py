@@ -1,0 +1,104 @@
+"""Tests for the experiment runner and its model cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_DATASETS,
+    PAPER_MODELS,
+    PAPER_STRATEGIES,
+    clear_model_cache,
+    default_model_config,
+    default_train_config,
+    get_trained_model,
+    run_matrix,
+)
+
+
+class TestConstants:
+    def test_paper_models(self):
+        assert set(PAPER_MODELS) == {"complex", "conve", "distmult", "rescal", "transe"}
+
+    def test_paper_strategies_exclude_squares(self):
+        assert "cluster_squares" not in PAPER_STRATEGIES
+        assert len(PAPER_STRATEGIES) == 5
+
+    def test_paper_datasets(self):
+        assert len(PAPER_DATASETS) == 4
+
+
+class TestDefaults:
+    def test_every_paper_model_has_defaults(self):
+        for name in PAPER_MODELS:
+            assert default_model_config(name).name == name
+            default_train_config(name)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            default_model_config("gnn")
+
+
+class TestModelCache:
+    def test_in_process_cache_returns_same_object(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        a = get_trained_model("wn18rr-like", "distmult")
+        b = get_trained_model("wn18rr-like", "distmult")
+        assert a is b
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        a = get_trained_model("wn18rr-like", "distmult")
+        clear_model_cache()  # drop in-process entry; force disk load
+        b = get_trained_model("wn18rr-like", "distmult")
+        assert a is not b
+        np.testing.assert_array_equal(a.entity_matrix(), b.entity_matrix())
+
+    def test_stale_disk_cache_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        get_trained_model("wn18rr-like", "distmult")
+        # Corrupt the cache with wrong keys.
+        path = tmp_path / "wn18rr-like__distmult.npz"
+        np.savez(path, bogus=np.zeros(3))
+        clear_model_cache()
+        model = get_trained_model("wn18rr-like", "distmult")
+        assert model.entity_matrix().shape[0] > 0
+
+
+class TestRunMatrix:
+    @pytest.fixture(scope="class")
+    def rows(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_MODEL_CACHE"] = str(tmp_path_factory.mktemp("cache"))
+        clear_model_cache()
+        try:
+            return run_matrix(
+                datasets=("wn18rr-like",),
+                models=("distmult",),
+                strategies=("uniform_random", "entity_frequency"),
+                top_n=50,
+                max_candidates=100,
+            )
+        finally:
+            os.environ.pop("REPRO_MODEL_CACHE", None)
+            clear_model_cache()
+
+    def test_row_count(self, rows):
+        assert len(rows) == 2
+
+    def test_rows_carry_metrics(self, rows):
+        for row in rows:
+            assert row.dataset == "wn18rr-like"
+            assert row.model == "distmult"
+            assert row.num_facts >= 0
+            assert row.runtime_seconds > 0
+
+    def test_strategy_labels(self, rows):
+        assert {row.strategy for row in rows} == {
+            "uniform_random", "entity_frequency",
+        }

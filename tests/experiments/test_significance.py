@@ -1,0 +1,101 @@
+"""Tests for the bootstrap CI and paired sign test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import bootstrap_mrr_ci, paired_sign_test
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        ranks = rng.integers(1, 50, size=500).astype(float)
+        interval = bootstrap_mrr_ci(ranks, seed=1)
+        assert interval.lower <= interval.mrr <= interval.upper
+
+    def test_contains_operator(self):
+        interval = bootstrap_mrr_ci(np.asarray([1.0, 2.0, 4.0] * 50), seed=0)
+        assert interval.mrr in interval
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(3)
+        small = rng.integers(1, 50, size=30).astype(float)
+        big = np.tile(small, 40)
+        wide = bootstrap_mrr_ci(small, seed=0)
+        narrow = bootstrap_mrr_ci(big, seed=0)
+        assert (narrow.upper - narrow.lower) < (wide.upper - wide.lower)
+
+    def test_degenerate_ranks_zero_width(self):
+        interval = bootstrap_mrr_ci(np.full(100, 4.0), seed=0)
+        assert interval.lower == interval.upper == pytest.approx(0.25)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mrr_ci(np.zeros(0))
+        with pytest.raises(ValueError):
+            bootstrap_mrr_ci(np.asarray([1.0]), confidence=1.0)
+
+    def test_deterministic_given_seed(self):
+        ranks = np.asarray([1.0, 3.0, 7.0] * 20)
+        a = bootstrap_mrr_ci(ranks, seed=5)
+        b = bootstrap_mrr_ci(ranks, seed=5)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+
+class TestSignTest:
+    def test_all_wins_is_significant(self):
+        first = np.arange(10, dtype=float) + 1.0
+        second = np.arange(10, dtype=float)
+        result = paired_sign_test(first, second)
+        assert result.wins == 10 and result.losses == 0
+        assert result.p_value == pytest.approx(2 / 1024)
+        assert result.significant
+
+    def test_balanced_is_not_significant(self):
+        first = np.asarray([1.0, 0.0] * 5)
+        second = np.asarray([0.0, 1.0] * 5)
+        result = paired_sign_test(first, second)
+        assert result.wins == result.losses == 5
+        assert result.p_value > 0.5
+        assert not result.significant
+
+    def test_ties_discarded(self):
+        first = np.asarray([1.0, 1.0, 2.0])
+        second = np.asarray([1.0, 1.0, 1.0])
+        result = paired_sign_test(first, second)
+        assert result.ties == 2
+        assert result.wins == 1
+
+    def test_all_ties(self):
+        result = paired_sign_test(np.ones(5), np.ones(5))
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_sign_test(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            paired_sign_test(np.zeros(0), np.zeros(0))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.random(20)
+        b = rng.random(20)
+        assert paired_sign_test(a, b).p_value == pytest.approx(
+            paired_sign_test(b, a).p_value
+        )
+
+    def test_matches_scipy_binomtest(self):
+        from scipy.stats import binomtest
+
+        rng = np.random.default_rng(4)
+        a = rng.random(30)
+        b = rng.random(30) - 0.15
+        result = paired_sign_test(a, b)
+        n = result.wins + result.losses
+        expected = binomtest(result.wins, n, 0.5, alternative="two-sided").pvalue
+        assert result.p_value == pytest.approx(expected, rel=1e-9)

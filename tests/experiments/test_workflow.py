@@ -1,0 +1,51 @@
+"""Workflow (Figure 1 pipeline) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FactDiscoveryWorkflow
+from repro.kge import ModelConfig, TrainConfig
+
+
+class TestWorkflow:
+    @pytest.fixture(scope="class")
+    def report(self):
+        flow = FactDiscoveryWorkflow(
+            dataset="wn18rr-like",
+            model="distmult",
+            strategy="entity_frequency",
+            top_n=100,
+            max_candidates=100,
+            use_cached_model=False,
+            model_config=ModelConfig("distmult", dim=16, seed=0),
+            train_config=TrainConfig(
+                job="kvsall", loss="bce", epochs=15, batch_size=128, lr=0.05,
+                label_smoothing=0.1,
+            ),
+        )
+        return flow.run()
+
+    def test_report_fields(self, report):
+        assert report.dataset == "wn18rr-like"
+        assert report.model_name == "distmult"
+        assert report.strategy == "entity_frequency"
+
+    def test_link_prediction_metrics_present(self, report):
+        assert 0.0 <= report.link_prediction.mrr <= 1.0
+
+    def test_discovery_result_attached(self, report):
+        assert report.discovery.num_facts >= 0
+        assert (report.discovery.ranks <= 100).all()
+
+    def test_summary_is_flat(self, report):
+        summary = report.summary()
+        assert summary["dataset"] == "wn18rr-like"
+        assert "test_mrr" in summary
+        assert "efficiency_facts_per_hour" in summary
+        assert all(not isinstance(v, dict) for v in summary.values())
+
+    def test_default_configs_resolved(self):
+        flow = FactDiscoveryWorkflow(model="transe")
+        assert flow.model_config.name == "transe"
+        assert flow.train_config.job == "negative_sampling"

@@ -1,0 +1,146 @@
+"""Robustness on degenerate inputs: empty and minimal graphs.
+
+A production library must not crash on the smallest legal inputs — a KG
+with two entities, one relation, one triple, or no held-out splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import create_strategy, discover_facts
+from repro.kg import GraphStatistics, KnowledgeGraph, TripleSet
+from repro.kge import (
+    ModelConfig,
+    TrainConfig,
+    create_model,
+    evaluate_ranking,
+    fit,
+)
+
+
+@pytest.fixture()
+def minimal_graph() -> KnowledgeGraph:
+    """Two entities, one relation, one training triple, empty splits."""
+    return KnowledgeGraph.from_arrays(
+        name="minimal",
+        num_entities=2,
+        num_relations=1,
+        train=np.asarray([[0, 0, 1]]),
+        valid=np.zeros((0, 3), dtype=np.int64),
+        test=np.zeros((0, 3), dtype=np.int64),
+    )
+
+
+class TestMinimalGraph:
+    def test_statistics(self, minimal_graph):
+        stats = GraphStatistics(minimal_graph.train, backend="sparse")
+        np.testing.assert_array_equal(stats.degree, [1, 1])
+        np.testing.assert_array_equal(stats.triangles, [0, 0])
+        assert stats.average_clustering == 0.0
+
+    def test_training_runs(self, minimal_graph):
+        result = fit(
+            minimal_graph,
+            ModelConfig("distmult", dim=4, seed=0),
+            TrainConfig(job="kvsall", loss="bce", epochs=2, batch_size=4, lr=0.1),
+        )
+        assert len(result.losses) == 2
+
+    def test_evaluation_on_empty_split_is_zero(self, minimal_graph):
+        model = create_model("distmult", num_entities=2, num_relations=1, dim=4)
+        metrics = evaluate_ranking(model, minimal_graph, split="test")
+        assert metrics.mrr == 0.0
+        assert metrics.ranks.size == 0
+
+    def test_discovery_runs(self, minimal_graph):
+        model = create_model("distmult", num_entities=2, num_relations=1, dim=4)
+        model.eval()
+        result = discover_facts(
+            model, minimal_graph, strategy="entity_frequency",
+            top_n=2, max_candidates=4, seed=0,
+        )
+        # The only non-self-loop candidates are (0,0,1) [seen] and (1,0,0).
+        assert result.num_facts <= 1
+        if result.num_facts:
+            np.testing.assert_array_equal(result.facts[0], [1, 0, 0])
+
+    def test_every_strategy_prepares(self, minimal_graph):
+        stats = GraphStatistics(minimal_graph.train, backend="sparse")
+        for name in (
+            "uniform_random", "entity_frequency", "graph_degree",
+            "cluster_coefficient", "cluster_triangles", "cluster_squares",
+            "relation_frequency", "pagerank", "inverse_frequency",
+        ):
+            strategy = create_strategy(name)
+            strategy.prepare(stats)
+            pool, probs = strategy.distribution("subject")
+            assert probs.sum() == pytest.approx(1.0)
+
+
+class TestEmptyTrainingSplit:
+    @pytest.fixture()
+    def empty_graph(self) -> KnowledgeGraph:
+        return KnowledgeGraph.from_arrays(
+            name="empty",
+            num_entities=3,
+            num_relations=1,
+            train=np.zeros((0, 3), dtype=np.int64),
+            valid=np.zeros((0, 3), dtype=np.int64),
+            test=np.zeros((0, 3), dtype=np.int64),
+        )
+
+    def test_statistics_all_zero(self, empty_graph):
+        stats = GraphStatistics(empty_graph.train, backend="sparse")
+        np.testing.assert_array_equal(stats.degree, [0, 0, 0])
+        assert stats.average_clustering == 0.0
+
+    def test_discovery_finds_nothing(self, empty_graph):
+        model = create_model("distmult", num_entities=3, num_relations=1, dim=4)
+        model.eval()
+        result = discover_facts(
+            model, empty_graph, strategy="uniform_random",
+            top_n=3, max_candidates=4, seed=0,
+        )
+        # No relations exist in the training split: nothing to iterate.
+        assert result.num_facts == 0
+
+    def test_complement_is_everything(self, empty_graph):
+        assert empty_graph.complement_size() == 9
+
+
+class TestSingleEntitySides:
+    def test_one_subject_one_object(self):
+        """All triples share one subject and one object: pools of size 1."""
+        graph = KnowledgeGraph.from_arrays(
+            name="narrow",
+            num_entities=4,
+            num_relations=2,
+            train=np.asarray([[0, 0, 1], [0, 1, 1]]),
+            valid=np.zeros((0, 3), dtype=np.int64),
+            test=np.zeros((0, 3), dtype=np.int64),
+        )
+        model = create_model("distmult", num_entities=4, num_relations=2, dim=4)
+        model.eval()
+        result = discover_facts(
+            model, graph, strategy="entity_frequency",
+            top_n=4, max_candidates=4, seed=0,
+        )
+        # Mesh of {0} × {1} per relation gives only seen triples: nothing
+        # new can be generated.
+        assert result.num_facts == 0
+
+
+class TestSingleRelationTripleSet:
+    def test_by_relation_of_unused_relation_is_empty(self):
+        ts = TripleSet(np.asarray([[0, 0, 1]]), 3, 2)
+        assert ts.by_relation(1).shape == (0, 3)
+
+    def test_rank_all_candidates_single_entity_pool(self):
+        from repro.kge.evaluation import compute_ranks
+
+        model = create_model("distmult", num_entities=2, num_relations=1, dim=4)
+        model.eval()
+        ranks = compute_ranks(model, np.asarray([[0, 0, 1]]))
+        assert ranks[0] in (1.0, 1.5, 2.0)

@@ -1,0 +1,90 @@
+"""Tests for the KnowledgeGraph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, TripleSet, Vocabulary
+
+
+def build(train, valid=(), test=(), n=6, k=2) -> KnowledgeGraph:
+    return KnowledgeGraph.from_arrays(
+        name="g",
+        num_entities=n,
+        num_relations=k,
+        train=np.asarray(train, dtype=np.int64).reshape(-1, 3),
+        valid=np.asarray(list(valid), dtype=np.int64).reshape(-1, 3),
+        test=np.asarray(list(test), dtype=np.int64).reshape(-1, 3),
+    )
+
+
+class TestConstruction:
+    def test_sizes(self):
+        g = build([[0, 0, 1], [1, 1, 2]], valid=[(2, 0, 3)], test=[(3, 1, 4)])
+        assert g.num_entities == 6
+        assert g.num_relations == 2
+        assert g.num_triples == 4
+
+    def test_default_labels(self):
+        g = build([[0, 0, 1]])
+        assert g.entities.label_of(0) == "e_0"
+        assert g.relations.label_of(1) == "r_1"
+
+    def test_custom_labels(self):
+        g = KnowledgeGraph.from_arrays(
+            name="bio",
+            num_entities=2,
+            num_relations=1,
+            train=np.asarray([[0, 0, 1]]),
+            valid=np.zeros((0, 3), dtype=np.int64),
+            test=np.zeros((0, 3), dtype=np.int64),
+            entity_labels=["aspirin", "headache"],
+            relation_labels=["treats"],
+        )
+        assert g.label_triple((0, 0, 1)) == ("aspirin", "treats", "headache")
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph.from_arrays(
+                name="bad",
+                num_entities=3,
+                num_relations=1,
+                train=np.asarray([[0, 0, 1]]),
+                valid=np.zeros((0, 3), dtype=np.int64),
+                test=np.zeros((0, 3), dtype=np.int64),
+                entity_labels=["only-one"],
+            )
+
+    def test_mismatched_split_space_rejected(self):
+        entities = Vocabulary.from_range("e", 4)
+        relations = Vocabulary.from_range("r", 1)
+        wrong = TripleSet(np.asarray([[0, 0, 1]]), 99, 1)
+        with pytest.raises(ValueError):
+            KnowledgeGraph(
+                name="bad",
+                entities=entities,
+                relations=relations,
+                train=wrong,
+                valid=wrong,
+                test=wrong,
+            )
+
+
+class TestDerived:
+    def test_all_triples_unions_splits(self):
+        g = build([[0, 0, 1]], valid=[(1, 0, 2)], test=[(2, 0, 3)])
+        assert len(g.all_triples()) == 3
+
+    def test_complement_size(self):
+        g = build([[0, 0, 1]], n=4, k=1)
+        assert g.complement_size() == 4 * 4 * 1 - 1
+
+    def test_average_relations_per_entity(self):
+        g = build([[0, 0, 1], [1, 0, 2], [2, 0, 3]], n=6)
+        assert g.average_relations_per_entity() == pytest.approx(1.0)
+
+    def test_repr_contains_name_and_counts(self):
+        g = build([[0, 0, 1]])
+        text = repr(g)
+        assert "'g'" in text and "train=1" in text

@@ -1,0 +1,86 @@
+"""TSV dataset I/O round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    KGProfile,
+    generate_kg,
+    load_dataset_dir,
+    read_triples_tsv,
+    save_dataset_dir,
+    write_triples_tsv,
+)
+
+
+class TestTripleFiles:
+    def test_roundtrip(self, tmp_path):
+        triples = [("a", "likes", "b"), ("b", "knows", "c")]
+        path = tmp_path / "t.txt"
+        write_triples_tsv(path, triples)
+        assert read_triples_tsv(path) == triples
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a\tr\tb\n\nc\tr\td\n")
+        assert len(read_triples_tsv(path)) == 2
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a\tr\tb\nbroken line\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_triples_tsv(path)
+
+    def test_labels_with_spaces_survive(self, tmp_path):
+        triples = [("New York", "located in", "United States")]
+        path = tmp_path / "t.txt"
+        write_triples_tsv(path, triples)
+        assert read_triples_tsv(path) == triples
+
+
+class TestDatasetDir:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        graph = generate_kg(
+            KGProfile(name="io", num_entities=30, num_relations=3, num_triples=150, seed=5)
+        )
+        save_dataset_dir(graph, tmp_path / "ds")
+        loaded = load_dataset_dir(tmp_path / "ds")
+        assert loaded.num_entities <= graph.num_entities  # only used labels
+        assert len(loaded.train) == len(graph.train)
+        assert len(loaded.valid) == len(graph.valid)
+        assert len(loaded.test) == len(graph.test)
+
+    def test_roundtrip_preserves_label_triples(self, tmp_path):
+        graph = generate_kg(
+            KGProfile(name="io", num_entities=20, num_relations=2, num_triples=80, seed=6)
+        )
+        save_dataset_dir(graph, tmp_path / "ds")
+        loaded = load_dataset_dir(tmp_path / "ds")
+        original = {graph.label_triple(t) for t in graph.train}
+        recovered = {loaded.label_triple(t) for t in loaded.train}
+        assert original == recovered
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_dir(tmp_path / "nope")
+
+    def test_name_defaults_to_directory(self, tmp_path):
+        graph = generate_kg(
+            KGProfile(name="x", num_entities=10, num_relations=1, num_triples=20, seed=1)
+        )
+        save_dataset_dir(graph, tmp_path / "mykg")
+        assert load_dataset_dir(tmp_path / "mykg").name == "mykg"
+
+    def test_heldout_ids_consistent_after_roundtrip(self, tmp_path):
+        graph = generate_kg(
+            KGProfile(name="io", num_entities=25, num_relations=2, num_triples=120, seed=2)
+        )
+        save_dataset_dir(graph, tmp_path / "ds")
+        loaded = load_dataset_dir(tmp_path / "ds")
+        # All split arrays must respect the shared id space.
+        for split in (loaded.train, loaded.valid, loaded.test):
+            if len(split):
+                assert split.array[:, [0, 2]].max() < loaded.num_entities
+                assert split.array[:, 1].max() < loaded.num_relations

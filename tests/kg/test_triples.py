@@ -1,0 +1,203 @@
+"""Unit and property tests for the integer triple store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kg import TripleSet, encode_keys
+
+
+def make(triples, n=10, k=3) -> TripleSet:
+    return TripleSet(np.asarray(triples, dtype=np.int64), n, k)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = make([[0, 0, 1], [1, 1, 2]])
+        assert len(ts) == 2
+        assert ts.num_entities == 10
+        assert ts.num_relations == 3
+
+    def test_deduplicates(self):
+        ts = make([[0, 0, 1], [0, 0, 1], [1, 0, 2]])
+        assert len(ts) == 2
+
+    def test_empty(self):
+        ts = make([])
+        assert len(ts) == 0
+        assert ts.contains(np.zeros((0, 3))).shape == (0,)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            TripleSet(np.zeros((2, 2)), 5, 2)
+
+    def test_rejects_out_of_range_entity(self):
+        with pytest.raises(ValueError, match="entity id"):
+            make([[0, 0, 99]])
+
+    def test_rejects_out_of_range_relation(self):
+        with pytest.raises(ValueError, match="relation id"):
+            make([[0, 9, 1]])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            make([[-1, 0, 1]])
+
+    def test_rejects_empty_id_space(self):
+        with pytest.raises(ValueError):
+            TripleSet(np.zeros((0, 3)), 0, 1)
+
+    def test_array_is_readonly(self):
+        ts = make([[0, 0, 1]])
+        with pytest.raises(ValueError):
+            ts.array[0, 0] = 5
+
+    def test_accepts_iterable_of_tuples(self):
+        ts = TripleSet([(0, 0, 1), (1, 1, 2)], 5, 2)
+        assert len(ts) == 2
+
+
+class TestQueries:
+    def test_contains_single(self):
+        ts = make([[0, 0, 1], [1, 1, 2]])
+        assert (0, 0, 1) in ts
+        assert (0, 0, 2) not in ts
+
+    def test_contains_batch(self):
+        ts = make([[0, 0, 1], [1, 1, 2]])
+        mask = ts.contains(np.asarray([[0, 0, 1], [5, 2, 5], [1, 1, 2]]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_contains_on_empty_set(self):
+        ts = make([])
+        mask = ts.contains(np.asarray([[0, 0, 1]]))
+        np.testing.assert_array_equal(mask, [False])
+
+    def test_by_relation(self):
+        ts = make([[0, 0, 1], [1, 1, 2], [2, 1, 3]])
+        rel1 = ts.by_relation(1)
+        assert len(rel1) == 2
+        assert set(rel1[:, 1]) == {1}
+
+    def test_unique_relations_and_entities(self):
+        ts = make([[0, 2, 1], [1, 0, 2]])
+        np.testing.assert_array_equal(ts.unique_relations(), [0, 2])
+        np.testing.assert_array_equal(ts.unique_entities(), [0, 1, 2])
+
+    def test_sp_index(self):
+        ts = make([[0, 0, 1], [0, 0, 2], [1, 0, 3]])
+        index = ts.sp_index()
+        np.testing.assert_array_equal(sorted(index[(0, 0)]), [1, 2])
+        np.testing.assert_array_equal(index[(1, 0)], [3])
+
+    def test_po_index(self):
+        ts = make([[0, 0, 2], [1, 0, 2]])
+        index = ts.po_index()
+        np.testing.assert_array_equal(sorted(index[(0, 2)]), [0, 1])
+
+    def test_iteration_yields_python_ints(self):
+        ts = make([[0, 1, 2]])
+        triple = next(iter(ts))
+        assert triple == (0, 1, 2)
+        assert all(isinstance(v, int) for v in triple)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = make([[0, 0, 1]])
+        b = make([[1, 0, 2], [0, 0, 1]])
+        assert len(a.union(b)) == 2
+
+    def test_difference(self):
+        a = make([[0, 0, 1], [1, 0, 2]])
+        b = make([[0, 0, 1]])
+        diff = a.difference(b)
+        assert len(diff) == 1
+        assert (1, 0, 2) in diff
+
+    def test_intersection(self):
+        a = make([[0, 0, 1], [1, 0, 2]])
+        b = make([[1, 0, 2], [3, 0, 4]])
+        inter = a.intersection(b)
+        assert len(inter) == 1
+        assert (1, 0, 2) in inter
+
+    def test_incompatible_spaces_rejected(self):
+        a = make([[0, 0, 1]], n=10)
+        b = TripleSet(np.asarray([[0, 0, 1]]), 11, 3)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_equality(self):
+        assert make([[0, 0, 1], [1, 0, 2]]) == make([[1, 0, 2], [0, 0, 1]])
+        assert make([[0, 0, 1]]) != make([[0, 0, 2]])
+
+
+class TestDerived:
+    def test_complement_size(self):
+        ts = make([[0, 0, 1], [1, 1, 2]], n=10, k=3)
+        assert ts.complement_size() == 10 * 10 * 3 - 2
+
+    def test_yago_complement_magnitude(self):
+        """The paper's motivating number: ~533 × 10⁹ for YAGO3-10."""
+        ts = TripleSet(np.asarray([[0, 0, 1]]), 123_182, 37)
+        assert abs(ts.complement_size() - 533e9) / 533e9 < 0.06
+
+    def test_density(self):
+        ts = make([[0, 0, 1]], n=10, k=1)
+        assert ts.density() == pytest.approx(0.01)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+triple_lists = st.lists(
+    st.tuples(
+        st.integers(0, 19), st.integers(0, 4), st.integers(0, 19)
+    ),
+    max_size=60,
+)
+
+
+@given(triple_lists)
+def test_keys_injective(triples):
+    arr = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+    keys = encode_keys(arr, 20, 5)
+    unique_triples = {tuple(t) for t in arr.tolist()}
+    assert len(np.unique(keys)) == len(unique_triples)
+
+
+@given(triple_lists)
+def test_every_stored_triple_is_contained(triples):
+    arr = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+    if len(arr) == 0:
+        return
+    ts = TripleSet(arr, 20, 5)
+    assert ts.contains(arr).all()
+
+
+@given(triple_lists, triple_lists)
+def test_union_is_commutative(t1, t2):
+    a = TripleSet(np.asarray(t1, dtype=np.int64).reshape(-1, 3), 20, 5)
+    b = TripleSet(np.asarray(t2, dtype=np.int64).reshape(-1, 3), 20, 5)
+    assert a.union(b) == b.union(a)
+
+
+@given(triple_lists, triple_lists)
+def test_difference_disjoint_from_subtrahend(t1, t2):
+    a = TripleSet(np.asarray(t1, dtype=np.int64).reshape(-1, 3), 20, 5)
+    b = TripleSet(np.asarray(t2, dtype=np.int64).reshape(-1, 3), 20, 5)
+    diff = a.difference(b)
+    assert len(diff.intersection(b)) == 0
+    # And difference + intersection partition a.
+    assert len(diff) + len(a.intersection(b)) == len(a)
+
+
+@given(triple_lists)
+def test_complement_plus_size_is_total(triples):
+    arr = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+    ts = TripleSet(arr, 20, 5)
+    assert ts.complement_size() + len(ts) == 20 * 20 * 5

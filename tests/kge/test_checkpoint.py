@@ -1,0 +1,92 @@
+"""Checkpoint save/load round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kge import (
+    ModelConfig,
+    TrainConfig,
+    create_model,
+    fit,
+    load_model,
+    save_model,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name,dim,options",
+        [
+            ("transe", 8, {"norm": "l2"}),
+            ("distmult", 8, {}),
+            ("complex", 8, {}),
+            ("rescal", 4, {}),
+            ("hole", 8, {}),
+            ("rotate", 8, {}),
+            ("simple", 8, {}),
+            ("tucker", 4, {}),
+        ],
+    )
+    def test_scores_identical_after_reload(self, tmp_path, name, dim, options):
+        model = create_model(
+            name, num_entities=10, num_relations=3, dim=dim, seed=2, **options
+        )
+        model.eval()
+        path = tmp_path / f"{name}.npz"
+        save_model(model, path)
+        reloaded = load_model(path)
+        s = np.asarray([0, 4, 9])
+        r = np.asarray([0, 1, 2])
+        np.testing.assert_array_equal(
+            model.scores_sp(s, r), reloaded.scores_sp(s, r)
+        )
+
+    def test_conve_running_stats_survive(self, tmp_path, tiny_graph):
+        """BatchNorm buffers must round-trip, not just parameters."""
+        result = fit(
+            tiny_graph,
+            ModelConfig("conve", dim=16, seed=0, options={"num_filters": 8}),
+            TrainConfig(job="kvsall", loss="bce", epochs=3, batch_size=64, lr=0.01),
+        )
+        path = tmp_path / "conve.npz"
+        save_model(result.model, path)
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            result.model.bn_conv.running_mean, reloaded.bn_conv.running_mean
+        )
+        s = np.asarray([0, 1, 2])
+        r = np.asarray([0, 1, 2])
+        np.testing.assert_allclose(
+            result.model.scores_sp(s, r), reloaded.scores_sp(s, r)
+        )
+
+    def test_transe_options_preserved(self, tmp_path):
+        model = create_model(
+            "transe", num_entities=6, num_relations=2, dim=8, norm="l2",
+            normalize_entities=False,
+        )
+        path = tmp_path / "t.npz"
+        save_model(model, path)
+        reloaded = load_model(path)
+        assert reloaded.norm == "l2"
+        assert not reloaded.normalize_entities
+
+    def test_reloaded_model_is_eval_mode(self, tmp_path):
+        model = create_model("distmult", num_entities=6, num_relations=2, dim=8)
+        path = tmp_path / "d.npz"
+        save_model(model, path)
+        assert not load_model(path).training
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="missing header"):
+            load_model(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = create_model("distmult", num_entities=4, num_relations=1, dim=4)
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        save_model(model, path)
+        assert path.is_file()

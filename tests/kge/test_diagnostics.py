@@ -1,0 +1,60 @@
+"""Tests for the popularity-bias probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kge import popularity_bias
+
+
+class _FrequencyOracle:
+    """Scripted model scoring every entity by a fixed per-entity value."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+        self.num_entities = len(values)
+
+    def scores_sp(self, s, r):
+        return np.tile(self.values, (len(np.asarray(s)), 1))
+
+
+class TestPopularityBias:
+    def test_perfectly_biased_model(self, tiny_graph):
+        from repro.kg import entity_frequency
+
+        freq = entity_frequency(tiny_graph.train, "object").astype(float)
+        model = _FrequencyOracle(freq)
+        probe = popularity_bias(model, tiny_graph, num_queries=50, seed=0)
+        assert probe.correlation > 0.99
+        assert probe.is_biased
+
+    def test_anti_biased_model(self, tiny_graph):
+        from repro.kg import entity_frequency
+
+        freq = entity_frequency(tiny_graph.train, "object").astype(float)
+        model = _FrequencyOracle(-freq)
+        probe = popularity_bias(model, tiny_graph, num_queries=50, seed=0)
+        assert probe.correlation < -0.99
+        assert not probe.is_biased
+
+    def test_unbiased_model_near_zero(self, tiny_graph):
+        rng = np.random.default_rng(7)
+        model = _FrequencyOracle(rng.normal(size=tiny_graph.num_entities))
+        probe = popularity_bias(model, tiny_graph, num_queries=50, seed=0)
+        assert abs(probe.correlation) < 0.35
+
+    def test_trained_model_is_biased_on_skewed_graph(
+        self, trained_distmult, tiny_graph
+    ):
+        probe = popularity_bias(trained_distmult, tiny_graph, num_queries=100, seed=0)
+        assert probe.correlation > 0.2
+
+    def test_validates_query_count(self, trained_distmult, tiny_graph):
+        with pytest.raises(ValueError):
+            popularity_bias(trained_distmult, tiny_graph, num_queries=1)
+
+    def test_deterministic(self, trained_distmult, tiny_graph):
+        a = popularity_bias(trained_distmult, tiny_graph, num_queries=40, seed=3)
+        b = popularity_bias(trained_distmult, tiny_graph, num_queries=40, seed=3)
+        assert a.correlation == b.correlation

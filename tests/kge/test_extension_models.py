@@ -1,0 +1,133 @@
+"""Formula and property tests for the extension models (RotatE, SimplE,
+TuckER)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kge import create_model
+
+RNG = np.random.default_rng(21)
+
+
+def _triples(batch: int, n: int, k: int):
+    return (
+        RNG.integers(0, n, batch),
+        RNG.integers(0, k, batch),
+        RNG.integers(0, n, batch),
+    )
+
+
+class TestRotatE:
+    def test_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            create_model("rotate", num_entities=4, num_relations=1, dim=7)
+
+    def test_formula(self):
+        m = create_model("rotate", num_entities=9, num_relations=3, dim=8)
+        s, r, o = _triples(5, 9, 3)
+        ent, phases = m.entity_matrix(), m.relation_matrix()
+        h = 4
+        s_c = ent[s, :h] + 1j * ent[s, h:]
+        o_c = ent[o, :h] + 1j * ent[o, h:]
+        rotation = np.exp(1j * phases[r])
+        expected = -np.sqrt(np.abs(s_c * rotation - o_c) ** 2 + 1e-12).sum(axis=1)
+        np.testing.assert_allclose(
+            m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-9
+        )
+
+    def test_rotation_preserves_modulus(self):
+        """A relation with zero phase is the identity: (s, r₀, s) scores 0."""
+        m = create_model("rotate", num_entities=6, num_relations=2, dim=8)
+        m.relation_embeddings.weight.data[0] = 0.0
+        ids = np.arange(6)
+        scores = m.scores_spo(np.stack([ids, np.zeros(6, np.int64), ids], 1))
+        np.testing.assert_allclose(scores, 0.0, atol=1e-5)
+
+    def test_inverse_rotation_score_po(self):
+        """score_po must agree with score_spo (the inverse-rotation trick)."""
+        m = create_model("rotate", num_entities=7, num_relations=2, dim=8)
+        r = np.asarray([0, 1])
+        o = np.asarray([3, 5])
+        rows = m.scores_po(r, o)
+        for s in range(7):
+            direct = m.scores_spo(np.stack([np.full(2, s), r, o], 1))
+            np.testing.assert_allclose(rows[:, s], direct, rtol=1e-8)
+
+    def test_phases_initialised_in_circle(self):
+        m = create_model("rotate", num_entities=5, num_relations=4, dim=8)
+        assert np.all(np.abs(m.relation_matrix()) <= np.pi)
+
+    def test_models_antisymmetry(self):
+        m = create_model("rotate", num_entities=9, num_relations=3, dim=8)
+        s, r, o = _triples(8, 9, 3)
+        forward = m.scores_spo(np.stack([s, r, o], 1))
+        backward = m.scores_spo(np.stack([o, r, s], 1))
+        assert not np.allclose(forward, backward)
+
+
+class TestSimplE:
+    def test_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            create_model("simple", num_entities=4, num_relations=1, dim=5)
+
+    def test_formula(self):
+        m = create_model("simple", num_entities=9, num_relations=3, dim=8)
+        s, r, o = _triples(5, 9, 3)
+        ent, rel = m.entity_matrix(), m.relation_matrix()
+        h = 4
+        forward = np.einsum("bd,bd,bd->b", ent[s, :h], rel[r, :h], ent[o, h:])
+        backward = np.einsum("bd,bd,bd->b", ent[o, :h], rel[r, h:], ent[s, h:])
+        expected = 0.5 * (forward + backward)
+        np.testing.assert_allclose(
+            m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-10
+        )
+
+    def test_can_be_asymmetric(self):
+        m = create_model("simple", num_entities=9, num_relations=3, dim=8)
+        s, r, o = _triples(8, 9, 3)
+        assert not np.allclose(
+            m.scores_spo(np.stack([s, r, o], 1)),
+            m.scores_spo(np.stack([o, r, s], 1)),
+        )
+
+
+class TestTuckER:
+    def test_formula(self):
+        m = create_model("tucker", num_entities=9, num_relations=3, dim=5)
+        s, r, o = _triples(5, 9, 3)
+        ent, rel = m.entity_matrix(), m.relation_matrix()
+        core = m.core.data
+        expected = np.einsum(
+            "br,rij,bi,bj->b", rel[r], core, ent[s], ent[o]
+        )
+        np.testing.assert_allclose(
+            m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-10
+        )
+
+    def test_custom_relation_dim(self):
+        m = create_model(
+            "tucker", num_entities=6, num_relations=2, dim=4, relation_dim=3
+        )
+        assert m.relation_matrix().shape == (2, 3)
+        assert m.core.shape == (3, 4, 4)
+
+    def test_core_is_trainable(self):
+        m = create_model("tucker", num_entities=6, num_relations=2, dim=4)
+        assert any(p is m.core for p in m.parameters())
+
+    def test_subsumes_rescal_with_identity_core(self):
+        """With a one-hot relation basis and relation_dim = K, TuckER's
+        mixing matrix equals the slice of the core — i.e. it can represent
+        any RESCAL model."""
+        m = create_model(
+            "tucker", num_entities=5, num_relations=2, dim=3, relation_dim=2
+        )
+        m.relation_embeddings.weight.data[...] = np.eye(2)
+        s, r, o = _triples(6, 5, 2)
+        ent = m.entity_matrix()
+        expected = np.einsum("bij,bi,bj->b", m.core.data[r], ent[s], ent[o])
+        np.testing.assert_allclose(
+            m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-10
+        )

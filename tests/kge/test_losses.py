@@ -1,0 +1,168 @@
+"""Loss-function tests: exact values and gradient direction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.kge import (
+    BCEWithLogitsLoss,
+    MarginRankingLoss,
+    SoftmaxCrossEntropyLoss,
+    create_loss,
+)
+
+
+class TestMarginRankingLoss:
+    def test_no_violation_is_zero(self):
+        loss = MarginRankingLoss(margin=1.0)
+        value = loss(Tensor([5.0, 5.0]), Tensor([1.0, 1.0]))
+        assert value.item() == 0.0
+
+    def test_exact_violation_value(self):
+        loss = MarginRankingLoss(margin=1.0)
+        # margin - pos + neg = 1 - 1 + 0.5 = 0.5
+        value = loss(Tensor([1.0]), Tensor([0.5]))
+        assert value.item() == pytest.approx(0.5)
+
+    def test_broadcast_over_negatives(self):
+        loss = MarginRankingLoss(margin=1.0)
+        pos = Tensor([2.0])
+        neg = Tensor([[2.0, 0.0]])  # violations: 1.0 and 0.0
+        assert loss(pos, neg).item() == pytest.approx(0.5)
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            MarginRankingLoss(margin=0.0)
+
+    def test_gradient_pushes_scores_apart(self):
+        pos = Tensor([0.0], requires_grad=True)
+        neg = Tensor([0.0], requires_grad=True)
+        MarginRankingLoss(margin=1.0)(pos, neg).backward()
+        assert pos.grad[0] < 0  # increase positive score
+        assert neg.grad[0] > 0  # decrease negative score
+
+
+class TestBCEWithLogitsLoss:
+    def test_matches_reference_hard_targets(self):
+        logits = np.asarray([2.0, -1.0, 0.5])
+        targets = np.asarray([1.0, 0.0, 1.0])
+        loss = BCEWithLogitsLoss()(Tensor(logits), targets).item()
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_matches_reference_smoothed(self):
+        logits = np.asarray([2.0, -1.0])
+        targets = np.asarray([1.0, 0.0])
+        smoothing = 0.2
+        loss = BCEWithLogitsLoss(label_smoothing=smoothing)(
+            Tensor(logits), targets
+        ).item()
+        smoothed = targets * (1 - smoothing) + smoothing / 2
+        p = 1 / (1 + np.exp(-logits))
+        expected = -(smoothed * np.log(p) + (1 - smoothed) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_stable_at_extreme_logits(self):
+        loss = BCEWithLogitsLoss()(
+            Tensor([1000.0, -1000.0]), np.asarray([1.0, 0.0])
+        ).item()
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss(label_smoothing=1.0)
+
+    def test_gradient_direction(self):
+        logits = Tensor([0.0, 0.0], requires_grad=True)
+        BCEWithLogitsLoss()(logits, np.asarray([1.0, 0.0])).backward()
+        assert logits.grad[0] < 0  # push positive logit up
+        assert logits.grad[1] > 0  # push negative logit down
+
+
+class TestSelfAdversarialLoss:
+    def test_matches_reference(self):
+        from repro.kge import SelfAdversarialLoss
+
+        margin, temperature = 4.0, 0.7
+        pos = np.asarray([1.0, -0.5])
+        neg = np.asarray([[-2.0, 0.3], [-1.0, -3.0]])
+        loss = SelfAdversarialLoss(margin, temperature)(
+            Tensor(pos), Tensor(neg)
+        ).item()
+
+        def sigmoid(x):
+            return 1 / (1 + np.exp(-x))
+
+        weights = np.exp(temperature * neg)
+        weights /= weights.sum(axis=1, keepdims=True)
+        expected = (
+            -np.log(sigmoid(margin + pos))
+            - (weights * np.log(sigmoid(-margin - neg))).sum(axis=1)
+        ).mean()
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_hard_negatives_weighted_more(self):
+        """The gradient wrt the highest-scoring negative dominates."""
+        from repro.kge import SelfAdversarialLoss
+
+        pos = Tensor([0.0], requires_grad=True)
+        neg = Tensor(np.asarray([[2.0, -2.0]]), requires_grad=True)
+        SelfAdversarialLoss(margin=1.0, temperature=1.0)(pos, neg).backward()
+        assert neg.grad[0, 0] > neg.grad[0, 1] > 0
+
+    def test_validation(self):
+        from repro.kge import SelfAdversarialLoss
+
+        with pytest.raises(ValueError):
+            SelfAdversarialLoss(margin=0.0)
+        with pytest.raises(ValueError):
+            SelfAdversarialLoss(temperature=0.0)
+        with pytest.raises(ValueError):
+            SelfAdversarialLoss()(Tensor([1.0]), Tensor([1.0]))
+
+    def test_factory(self):
+        from repro.kge import SelfAdversarialLoss
+
+        loss = create_loss("self_adversarial", margin=3.0, temperature=2.0)
+        assert isinstance(loss, SelfAdversarialLoss)
+        assert loss.margin == 3.0
+
+
+class TestSoftmaxCrossEntropyLoss:
+    def test_uniform_logits(self):
+        n = 5
+        loss = SoftmaxCrossEntropyLoss()(
+            Tensor(np.zeros((2, n))), np.asarray([0, 3])
+        ).item()
+        assert loss == pytest.approx(np.log(n))
+
+    def test_confident_correct_is_small(self):
+        logits = np.full((1, 4), -10.0)
+        logits[0, 2] = 10.0
+        loss = SoftmaxCrossEntropyLoss()(Tensor(logits), np.asarray([2])).item()
+        assert loss < 1e-6
+
+    def test_gradient_favours_target(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        SoftmaxCrossEntropyLoss()(logits, np.asarray([1])).backward()
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+
+class TestFactory:
+    def test_creates_each(self):
+        assert isinstance(create_loss("margin"), MarginRankingLoss)
+        assert isinstance(create_loss("bce"), BCEWithLogitsLoss)
+        assert isinstance(create_loss("softmax"), SoftmaxCrossEntropyLoss)
+
+    def test_kwargs_forwarded(self):
+        loss = create_loss("margin", margin=3.0)
+        assert loss.margin == 3.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create_loss("focal")

@@ -1,0 +1,125 @@
+"""Negative-sampler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import TripleSet
+from repro.kge import NegativeSampler
+
+
+@pytest.fixture()
+def train_set() -> TripleSet:
+    rng = np.random.default_rng(0)
+    triples = np.stack(
+        [rng.integers(0, 20, 60), rng.integers(0, 3, 60), rng.integers(0, 20, 60)],
+        axis=1,
+    )
+    return TripleSet(triples, 20, 3)
+
+
+class TestShapes:
+    def test_output_shape(self, train_set):
+        sampler = NegativeSampler(train_set, num_negatives=4, seed=1)
+        out = sampler.sample(train_set.array[:10])
+        assert out.shape == (10, 4, 3)
+
+    def test_relations_preserved(self, train_set):
+        sampler = NegativeSampler(train_set, num_negatives=4, seed=1)
+        pos = train_set.array[:10]
+        out = sampler.sample(pos)
+        np.testing.assert_array_equal(
+            out[:, :, 1], np.repeat(pos[:, 1:2], 4, axis=1)
+        )
+
+    def test_object_mode_keeps_subjects(self, train_set):
+        sampler = NegativeSampler(
+            train_set, num_negatives=3, corrupt="object", seed=1
+        )
+        pos = train_set.array[:8]
+        out = sampler.sample(pos)
+        np.testing.assert_array_equal(out[:, :, 0], np.repeat(pos[:, :1], 3, axis=1))
+
+    def test_subject_mode_keeps_objects(self, train_set):
+        sampler = NegativeSampler(
+            train_set, num_negatives=3, corrupt="subject", seed=1
+        )
+        pos = train_set.array[:8]
+        out = sampler.sample(pos)
+        np.testing.assert_array_equal(out[:, :, 2], np.repeat(pos[:, 2:], 3, axis=1))
+
+    def test_both_mode_corrupts_exactly_one_slot(self, train_set):
+        sampler = NegativeSampler(
+            train_set, num_negatives=4, corrupt="both", filter_true=False, seed=1
+        )
+        pos = train_set.array[:12]
+        out = sampler.sample(pos)
+        expanded = np.repeat(pos[:, None, :], 4, axis=1)
+        subject_changed = out[:, :, 0] != expanded[:, :, 0]
+        object_changed = out[:, :, 2] != expanded[:, :, 2]
+        # Never both slots changed in a single corruption.
+        assert not np.any(subject_changed & object_changed)
+
+
+class TestBernoulli:
+    def test_probabilities_follow_relation_shape(self):
+        # Relation 0: one head with many tails (tph high) -> corrupt the
+        # head more often, i.e. the object-corruption probability is low.
+        triples = [[0, 0, i] for i in range(1, 9)]
+        # Relation 1: many heads, one tail (hpt high) -> corrupt the tail
+        # more often.
+        triples += [[i, 1, 9] for i in range(1, 9)]
+        ts = TripleSet(np.asarray(triples), 10, 2)
+        sampler = NegativeSampler(ts, corrupt="bernoulli", seed=0)
+        probs = sampler._object_corruption_prob
+        assert probs[0] < 0.2
+        assert probs[1] > 0.8
+
+    def test_balanced_relation_is_half(self):
+        triples = [[0, 0, 1], [1, 0, 2], [2, 0, 3]]
+        ts = TripleSet(np.asarray(triples), 5, 1)
+        sampler = NegativeSampler(ts, corrupt="bernoulli", seed=0)
+        assert sampler._object_corruption_prob[0] == pytest.approx(0.5)
+
+    def test_corrupts_exactly_one_slot(self, train_set):
+        sampler = NegativeSampler(
+            train_set, num_negatives=4, corrupt="bernoulli",
+            filter_true=False, seed=1,
+        )
+        pos = train_set.array[:12]
+        out = sampler.sample(pos)
+        expanded = np.repeat(pos[:, None, :], 4, axis=1)
+        subject_changed = out[:, :, 0] != expanded[:, :, 0]
+        object_changed = out[:, :, 2] != expanded[:, :, 2]
+        assert not np.any(subject_changed & object_changed)
+
+
+class TestFiltering:
+    def test_filter_reduces_true_hits(self):
+        # Tiny entity space: accidental positives are very likely without
+        # filtering.
+        triples = np.asarray([[s, 0, o] for s in range(3) for o in range(3) if s != o])
+        ts = TripleSet(triples, 4, 1)
+        pos = ts.array
+        unfiltered = NegativeSampler(ts, num_negatives=8, filter_true=False, seed=0)
+        filtered = NegativeSampler(ts, num_negatives=8, filter_true=True, seed=0)
+        hits_unfiltered = ts.contains(unfiltered.sample(pos).reshape(-1, 3)).sum()
+        hits_filtered = ts.contains(filtered.sample(pos).reshape(-1, 3)).sum()
+        assert hits_filtered <= hits_unfiltered
+
+    def test_deterministic_given_seed(self, train_set):
+        a = NegativeSampler(train_set, num_negatives=4, seed=5)
+        b = NegativeSampler(train_set, num_negatives=4, seed=5)
+        pos = train_set.array[:10]
+        np.testing.assert_array_equal(a.sample(pos), b.sample(pos))
+
+
+class TestValidation:
+    def test_bad_num_negatives(self, train_set):
+        with pytest.raises(ValueError):
+            NegativeSampler(train_set, num_negatives=0)
+
+    def test_bad_corrupt_mode(self, train_set):
+        with pytest.raises(ValueError):
+            NegativeSampler(train_set, corrupt="everything")

@@ -1,0 +1,77 @@
+"""Tests for the label-level query-answering API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kge import top_objects, top_subjects
+
+
+class TestTopObjects:
+    def test_returns_k_ranked_answers(self, trained_distmult, tiny_graph):
+        answers = top_objects(trained_distmult, tiny_graph, "e_0", "r_0", k=5)
+        assert len(answers) == 5
+        assert [a.rank for a in answers] == [1, 2, 3, 4, 5]
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude_known_filters_training_objects(
+        self, trained_distmult, tiny_graph
+    ):
+        # Pick an (s, r) with at least one known object.
+        s, r, o = map(int, tiny_graph.train.array[0])
+        subject = tiny_graph.entities.label_of(s)
+        relation = tiny_graph.relations.label_of(r)
+        answers = top_objects(
+            trained_distmult, tiny_graph, subject, relation,
+            k=tiny_graph.num_entities, exclude_known=True,
+        )
+        known_label = tiny_graph.entities.label_of(o)
+        assert all(a.entity != known_label for a in answers)
+        assert all(not a.known for a in answers)
+
+    def test_include_known_marks_training_facts(
+        self, trained_distmult, tiny_graph
+    ):
+        s, r, _ = map(int, tiny_graph.train.array[0])
+        answers = top_objects(
+            trained_distmult,
+            tiny_graph,
+            tiny_graph.entities.label_of(s),
+            tiny_graph.relations.label_of(r),
+            k=tiny_graph.num_entities,
+            exclude_known=False,
+        )
+        assert len(answers) == tiny_graph.num_entities
+        assert any(a.known for a in answers)
+
+    def test_unknown_labels_raise(self, trained_distmult, tiny_graph):
+        with pytest.raises(KeyError):
+            top_objects(trained_distmult, tiny_graph, "nobody", "r_0")
+        with pytest.raises(KeyError):
+            top_objects(trained_distmult, tiny_graph, "e_0", "unrelated")
+
+    def test_scores_match_model(self, trained_distmult, tiny_graph):
+        answers = top_objects(
+            trained_distmult, tiny_graph, "e_0", "r_0", k=3, exclude_known=False
+        )
+        raw = trained_distmult.scores_sp(np.asarray([0]), np.asarray([0]))[0]
+        for answer in answers:
+            entity_id = tiny_graph.entities.id_of(answer.entity)
+            assert answer.score == pytest.approx(raw[entity_id])
+
+
+class TestTopSubjects:
+    def test_returns_ranked_subjects(self, trained_distmult, tiny_graph):
+        answers = top_subjects(trained_distmult, tiny_graph, "r_0", "e_1", k=4)
+        assert len(answers) == 4
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_consistent_with_scores_po(self, trained_distmult, tiny_graph):
+        answers = top_subjects(
+            trained_distmult, tiny_graph, "r_0", "e_1", k=1, exclude_known=False
+        )
+        raw = trained_distmult.scores_po(np.asarray([0]), np.asarray([1]))[0]
+        assert answers[0].score == pytest.approx(raw.max())

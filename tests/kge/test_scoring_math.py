@@ -1,0 +1,125 @@
+"""Each model's scoring function checked against its textbook formula."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kge import create_model
+
+RNG = np.random.default_rng(13)
+
+
+def _triples(batch: int, n: int, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        RNG.integers(0, n, batch),
+        RNG.integers(0, k, batch),
+        RNG.integers(0, n, batch),
+    )
+
+
+def test_transe_l1_formula():
+    m = create_model("transe", num_entities=9, num_relations=3, dim=6, norm="l1")
+    s, r, o = _triples(5, 9, 3)
+    ent, rel = m.entity_matrix(), m.relation_matrix()
+    expected = -np.abs(ent[s] + rel[r] - ent[o]).sum(axis=1)
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-12
+    )
+
+
+def test_transe_l2_formula():
+    m = create_model("transe", num_entities=9, num_relations=3, dim=6, norm="l2")
+    s, r, o = _triples(5, 9, 3)
+    ent, rel = m.entity_matrix(), m.relation_matrix()
+    expected = -np.sqrt(((ent[s] + rel[r] - ent[o]) ** 2).sum(axis=1) + 1e-12)
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-9
+    )
+
+
+def test_distmult_formula():
+    m = create_model("distmult", num_entities=9, num_relations=3, dim=6)
+    s, r, o = _triples(5, 9, 3)
+    ent, rel = m.entity_matrix(), m.relation_matrix()
+    expected = np.einsum("bd,bd,bd->b", ent[s], rel[r], ent[o])
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-12
+    )
+
+
+def test_distmult_is_symmetric():
+    """DistMult cannot distinguish (s, r, o) from (o, r, s)."""
+    m = create_model("distmult", num_entities=9, num_relations=3, dim=6)
+    s, r, o = _triples(8, 9, 3)
+    forward = m.scores_spo(np.stack([s, r, o], 1))
+    backward = m.scores_spo(np.stack([o, r, s], 1))
+    np.testing.assert_allclose(forward, backward, rtol=1e-12)
+
+
+def test_complex_formula():
+    m = create_model("complex", num_entities=9, num_relations=3, dim=8)
+    s, r, o = _triples(5, 9, 3)
+    h = 4
+    ent, rel = m.entity_matrix(), m.relation_matrix()
+    s_c = ent[s, :h] + 1j * ent[s, h:]
+    r_c = rel[r, :h] + 1j * rel[r, h:]
+    o_c = ent[o, :h] + 1j * ent[o, h:]
+    expected = np.real(np.einsum("bd,bd,bd->b", s_c, r_c, np.conj(o_c)))
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-10
+    )
+
+
+def test_complex_can_be_asymmetric():
+    m = create_model("complex", num_entities=9, num_relations=3, dim=8)
+    s, r, o = _triples(8, 9, 3)
+    forward = m.scores_spo(np.stack([s, r, o], 1))
+    backward = m.scores_spo(np.stack([o, r, s], 1))
+    assert not np.allclose(forward, backward)
+
+
+def test_rescal_formula():
+    m = create_model("rescal", num_entities=9, num_relations=3, dim=5)
+    s, r, o = _triples(5, 9, 3)
+    ent = m.entity_matrix()
+    rel = m.relation_matrix().reshape(3, 5, 5)
+    expected = np.einsum("bi,bij,bj->b", ent[s], rel[r], ent[o])
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-10
+    )
+
+
+def test_hole_formula():
+    m = create_model("hole", num_entities=9, num_relations=3, dim=8)
+    s, r, o = _triples(5, 9, 3)
+    ent, rel = m.entity_matrix(), m.relation_matrix()
+    d = 8
+    corr = np.zeros((5, d))
+    for k in range(d):
+        for i in range(d):
+            corr[:, k] += ent[s][:, i] * ent[o][:, (i + k) % d]
+    expected = (rel[r] * corr).sum(axis=1)
+    np.testing.assert_allclose(
+        m.scores_spo(np.stack([s, r, o], 1)), expected, rtol=1e-9
+    )
+
+
+def test_hole_equals_complex_in_expressivity_smoke():
+    """Not a theorem check — just that HolE produces asymmetric scores,
+    the property that separates it from DistMult."""
+    m = create_model("hole", num_entities=9, num_relations=3, dim=8)
+    s, r, o = _triples(8, 9, 3)
+    forward = m.scores_spo(np.stack([s, r, o], 1))
+    backward = m.scores_spo(np.stack([o, r, s], 1))
+    assert not np.allclose(forward, backward)
+
+
+def test_conve_spo_matches_sp_column():
+    m = create_model("conve", num_entities=7, num_relations=2, dim=16)
+    m.eval()
+    s = np.asarray([0, 3, 5])
+    r = np.asarray([0, 1, 1])
+    o = np.asarray([2, 2, 6])
+    rows = m.scores_sp(s, r)
+    direct = m.scores_spo(np.stack([s, r, o], 1))
+    np.testing.assert_allclose(rows[np.arange(3), o], direct, rtol=1e-10)

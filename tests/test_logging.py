@@ -1,0 +1,84 @@
+"""Logging-instrumentation tests: the library narrates what it does."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.discovery import discover_facts
+from repro.kge import ModelConfig, TrainConfig, fit
+
+
+class TestTrainingLogs:
+    def test_completion_logged_at_info(self, tiny_graph, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.kge.training"):
+            fit(
+                tiny_graph,
+                ModelConfig("distmult", dim=8, seed=0),
+                TrainConfig(job="kvsall", loss="bce", epochs=2, batch_size=64, lr=0.05),
+            )
+        messages = [r.message for r in caplog.records]
+        assert any("trained DistMult for 2 epochs" in m for m in messages)
+
+    def test_epoch_losses_logged_at_debug(self, tiny_graph, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.kge.training"):
+            fit(
+                tiny_graph,
+                ModelConfig("distmult", dim=8, seed=0),
+                TrainConfig(job="kvsall", loss="bce", epochs=3, batch_size=64, lr=0.05),
+            )
+        epochs = [r for r in caplog.records if r.message.startswith("epoch ")]
+        assert len(epochs) == 3
+
+    def test_early_stopping_logged(self, tiny_graph, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.kge.training"):
+            fit(
+                tiny_graph,
+                ModelConfig("distmult", dim=8, seed=0),
+                TrainConfig(
+                    job="kvsall", loss="bce", epochs=30, batch_size=64, lr=1e-12,
+                    eval_every=1, early_stopping_patience=2,
+                ),
+            )
+        assert any("early stopping" in r.message for r in caplog.records)
+
+
+class TestDiscoveryLogs:
+    def test_summary_logged_at_info(self, trained_distmult, tiny_graph, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.discovery.discover"):
+            discover_facts(
+                trained_distmult, tiny_graph, strategy="entity_frequency",
+                top_n=15, max_candidates=36, seed=0,
+            )
+        assert any("discovered" in r.message for r in caplog.records)
+
+    def test_per_relation_detail_at_debug(
+        self, trained_distmult, tiny_graph, caplog
+    ):
+        with caplog.at_level(logging.DEBUG, logger="repro.discovery.discover"):
+            discover_facts(
+                trained_distmult, tiny_graph, strategy="entity_frequency",
+                top_n=15, max_candidates=36, seed=0,
+            )
+        per_relation = [
+            r for r in caplog.records if r.message.startswith("relation ")
+        ]
+        assert len(per_relation) == len(tiny_graph.train.unique_relations())
+
+
+class TestRunnerLogs:
+    def test_cache_events_logged(self, tmp_path, monkeypatch, caplog):
+        from repro.experiments import clear_model_cache, get_trained_model
+
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        with caplog.at_level(logging.INFO, logger="repro.experiments.runner"):
+            get_trained_model("wn18rr-like", "distmult")
+        assert any("training distmult" in r.message for r in caplog.records)
+
+        clear_model_cache()
+        caplog.clear()
+        with caplog.at_level(logging.INFO, logger="repro.experiments.runner"):
+            get_trained_model("wn18rr-like", "distmult")
+        assert any("disk cache" in r.message for r in caplog.records)

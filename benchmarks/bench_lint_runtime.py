@@ -1,0 +1,51 @@
+"""Analyzer runtime guard — the full-tree scan must stay interactive.
+
+The self-clean test in tier-1 runs the analyzer over ``src/repro`` on
+every pytest invocation, so the scan has to stay cheap.  This benchmark
+times the full-tree scan and asserts a generous ceiling (5 s) far above
+the expected cost (well under a second), guarding against accidentally
+quadratic rules or a runaway file walk.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from common import save_and_print
+
+from repro.experiments import format_table
+from repro.lint import LintEngine, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_lint_full_tree_runtime(benchmark):
+    config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
+    engine = LintEngine(config)
+    paths = list(config.paths)
+    files = engine.collect_files(paths)
+
+    findings = benchmark.pedantic(
+        lambda: engine.lint_paths(paths), rounds=3, iterations=1
+    )
+
+    start = time.perf_counter()
+    engine.lint_paths(paths)
+    elapsed = time.perf_counter() - start
+
+    table = format_table(
+        [
+            {
+                "files": len(files),
+                "findings": len(findings),
+                "seconds": round(elapsed, 3),
+                "files_per_second": round(len(files) / max(elapsed, 1e-9)),
+            }
+        ],
+        title="repro.lint — full-tree scan runtime",
+    )
+    save_and_print("lint_runtime", table)
+
+    assert findings == []
+    assert elapsed < 5.0

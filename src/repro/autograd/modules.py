@@ -22,6 +22,8 @@ __all__ = [
     "Conv2d",
     "BatchNorm",
     "Dropout",
+    "xavier_uniform",
+    "xavier_normal",
 ]
 
 

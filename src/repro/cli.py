@@ -12,7 +12,9 @@ Commands
 * ``evaluate`` — link-prediction metrics of a checkpoint on a split;
 * ``discover`` — run fact discovery with a checkpointed model;
 * ``compare`` — compare sampling strategies on one dataset/model;
-* ``grid`` — sweep the ``top_n`` × ``max_candidates`` hyperparameter grid.
+* ``grid`` — sweep the ``top_n`` × ``max_candidates`` hyperparameter grid;
+* ``lint`` — run the domain-aware static analyser (``repro.lint``) over
+  the codebase; all arguments are forwarded to ``repro-lint``.
 
 Any ``DATASET`` argument accepts either a registry name
 (``fb15k237-like``, …) or a path to a directory of
@@ -381,6 +383,15 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    forwarded = args.lint_args
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree of the CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -489,6 +500,16 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[50, 100, 200, 300, 400, 500])
     grid.add_argument("--seed", type=int, default=0)
     grid.set_defaults(func=_cmd_grid)
+
+    lint = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis of the codebase",
+        description="All arguments are forwarded to repro-lint "
+        "(see `repro lint -- --help`).",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro-lint")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

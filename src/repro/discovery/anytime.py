@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import encode_keys
@@ -181,9 +182,10 @@ def anytime_discover(
             arm.exhausted = True
             continue
 
-        ranks = compute_ranks(
-            model, candidates, filter_triples=train, side="object"
-        )
+        with no_grad():
+            ranks = compute_ranks(
+                model, candidates, filter_triples=train, side="object"
+            )
         keep = ranks <= top_n
         accepted = int(keep.sum())
         arm.pulls += 1

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import TripleSet, encode_keys
@@ -264,14 +265,17 @@ def discover_facts(
             continue
 
         # Line 14: rank candidates against their corruptions (standard
-        # filtered protocol per Bordes et al.).
+        # filtered protocol per Bordes et al.).  Scoring is pure
+        # inference: no_grad keeps the tape from recording backward
+        # closures for millions of candidate scores.
         t0 = time.perf_counter()
-        ranks = compute_ranks(
-            model,
-            relation_candidates,
-            filter_triples=train,
-            side="object",
-        )
+        with no_grad():
+            ranks = compute_ranks(
+                model,
+                relation_candidates,
+                filter_triples=train,
+                side="object",
+            )
         ranking_seconds += time.perf_counter() - t0
 
         # Line 15: quality filter.

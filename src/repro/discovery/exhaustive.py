@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kge.base import KGEModel
 from ..kge.evaluation import compute_ranks
@@ -92,9 +93,10 @@ def exhaustive_discover_facts(
             continue
 
         t0 = time.perf_counter()
-        ranks = compute_ranks(
-            model, candidates, filter_triples=graph.train, side="object"
-        )
+        with no_grad():
+            ranks = compute_ranks(
+                model, candidates, filter_triples=graph.train, side="object"
+            )
         ranking_seconds += time.perf_counter() - t0
 
         keep = ranks <= top_n

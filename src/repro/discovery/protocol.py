@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kg.triples import TripleSet, encode_keys
@@ -116,15 +117,18 @@ def heldout_discovery_protocol(
     """Run the full hide → train → discover → score protocol."""
     reduced, hidden = hide_triples(graph, hide_fraction, seed=seed)
     model = fit(reduced, model_config, train_config).model
-    discovery = discover_facts(
-        model,
-        reduced,
-        strategy=strategy,
-        top_n=top_n,
-        max_candidates=max_candidates,
-        seed=seed,
-        stats=GraphStatistics(reduced.train),
-    )
+    # Discovery is pure inference on the trained model; keep the whole
+    # pipeline off the autodiff tape.
+    with no_grad():
+        discovery = discover_facts(
+            model,
+            reduced,
+            strategy=strategy,
+            top_n=top_n,
+            max_candidates=max_candidates,
+            seed=seed,
+            stats=GraphStatistics(reduced.train),
+        )
 
     recovered_mask = (
         hidden.contains(discovery.facts)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as scipy_stats
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import entity_frequency
 from .base import KGEModel
@@ -63,10 +64,11 @@ def popularity_bias(
     queries = train[picks][:, :2]
 
     totals = np.zeros(graph.num_entities)
-    for start in range(0, num_queries, chunk_size):
-        batch = queries[start : start + chunk_size]
-        scores = model.scores_sp(batch[:, 0], batch[:, 1])
-        totals += scores.sum(axis=0)
+    with no_grad():
+        for start in range(0, num_queries, chunk_size):
+            batch = queries[start : start + chunk_size]
+            scores = model.scores_sp(batch[:, 0], batch[:, 1])
+            totals += scores.sum(axis=0)
     mean_scores = totals / num_queries
 
     frequency = entity_frequency(graph.train, "object")

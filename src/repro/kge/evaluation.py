@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.triples import TripleSet
 from .base import KGEModel
@@ -22,6 +23,7 @@ __all__ = [
     "RankingMetrics",
     "compute_ranks",
     "evaluate_ranking",
+    "generate_hard_negatives",
     "triple_classification",
 ]
 
@@ -93,30 +95,31 @@ def compute_ranks(
     index = _filter_index(filter_triples, side) if filter_triples is not None else None
     ranks = np.zeros(len(triples))
 
-    for start in range(0, len(triples), chunk_size):
-        batch = triples[start : start + chunk_size]
-        if side == "object":
-            scores = model.scores_sp(batch[:, 0], batch[:, 1])
-            targets = batch[:, 2]
-            keys = batch[:, [0, 1]]
-        else:
-            scores = model.scores_po(batch[:, 1], batch[:, 2])
-            targets = batch[:, 0]
-            keys = batch[:, [1, 2]]
+    with no_grad():
+        for start in range(0, len(triples), chunk_size):
+            batch = triples[start : start + chunk_size]
+            if side == "object":
+                scores = model.scores_sp(batch[:, 0], batch[:, 1])
+                targets = batch[:, 2]
+                keys = batch[:, [0, 1]]
+            else:
+                scores = model.scores_po(batch[:, 1], batch[:, 2])
+                targets = batch[:, 0]
+                keys = batch[:, [1, 2]]
 
-        target_scores = scores[np.arange(len(batch)), targets].copy()
-        if index is not None:
-            for i, (a, b) in enumerate(keys):
-                known = index.get((int(a), int(b)))
-                if known is not None:
-                    scores[i, known] = -np.inf
-            # The targets themselves were masked with the rest of the
-            # known-true entities; restore them so they can be ranked.
-            scores[np.arange(len(batch)), targets] = target_scores
-        greater = (scores > target_scores[:, None]).sum(axis=1)
-        equal = (scores == target_scores[:, None]).sum(axis=1)
-        # Realistic rank: ties broken at their expected position.
-        ranks[start : start + len(batch)] = greater + (equal - 1) / 2.0 + 1.0
+            target_scores = scores[np.arange(len(batch)), targets].copy()
+            if index is not None:
+                for i, (a, b) in enumerate(keys):
+                    known = index.get((int(a), int(b)))
+                    if known is not None:
+                        scores[i, known] = -np.inf
+                # The targets themselves were masked with the rest of the
+                # known-true entities; restore them so they can be ranked.
+                scores[np.arange(len(batch)), targets] = target_scores
+            greater = (scores > target_scores[:, None]).sum(axis=1)
+            equal = (scores == target_scores[:, None]).sum(axis=1)
+            # Realistic rank: ties broken at their expected position.
+            ranks[start : start + len(batch)] = greater + (equal - 1) / 2.0 + 1.0
     return ranks
 
 
@@ -141,14 +144,15 @@ def evaluate_ranking(
         raise KeyError(f"unknown split {split!r}")
     filter_triples = graph.all_triples() if filtered else None
     sides = ("object", "subject") if side == "both" else (side,)
-    ranks = np.concatenate(
-        [
-            compute_ranks(
-                model, split_set.array, filter_triples=filter_triples, side=s
-            )
-            for s in sides
-        ]
-    )
+    with no_grad():
+        ranks = np.concatenate(
+            [
+                compute_ranks(
+                    model, split_set.array, filter_triples=filter_triples, side=s
+                )
+                for s in sides
+            ]
+        )
     return RankingMetrics.from_ranks(ranks, hits_at=hits_at)
 
 
@@ -218,8 +222,9 @@ def triple_classification(
         arr[mask, 2] = rng.integers(0, graph.num_entities, size=int(mask.sum()))
         return arr
 
-    valid_pos = model.scores_spo(graph.valid.array)
-    valid_neg = model.scores_spo(corrupt(graph.valid))
+    with no_grad():
+        valid_pos = model.scores_spo(graph.valid.array)
+        valid_neg = model.scores_spo(corrupt(graph.valid))
     candidates = np.unique(np.concatenate([valid_pos, valid_neg]))
     best_threshold, best_acc = 0.0, -1.0
     for threshold in candidates:
@@ -227,8 +232,9 @@ def triple_classification(
         if acc > best_acc:
             best_acc, best_threshold = acc, float(threshold)
 
-    test_pos = model.scores_spo(graph.test.array)
-    test_neg = model.scores_spo(corrupt(graph.test))
+    with no_grad():
+        test_pos = model.scores_spo(graph.test.array)
+        test_neg = model.scores_spo(corrupt(graph.test))
     accuracy = 0.5 * (
         (test_pos >= best_threshold).mean() + (test_neg < best_threshold).mean()
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from .base import KGEModel
 
@@ -73,7 +74,8 @@ def top_objects(
     """
     s = graph.entities.id_of(subject)
     r = graph.relations.id_of(relation)
-    scores = model.scores_sp(np.asarray([s]), np.asarray([r]))[0]
+    with no_grad():
+        scores = model.scores_sp(np.asarray([s]), np.asarray([r]))[0]
     known = graph.train.sp_index().get((s, r), np.zeros(0, dtype=np.int64))
     return _answers(scores, graph, known, k, exclude_known)
 
@@ -89,6 +91,7 @@ def top_subjects(
     """Answer ``(?, relation, object)``: the top-k subject candidates."""
     r = graph.relations.id_of(relation)
     o = graph.entities.id_of(obj)
-    scores = model.scores_po(np.asarray([r]), np.asarray([o]))[0]
+    with no_grad():
+        scores = model.scores_po(np.asarray([r]), np.asarray([o]))[0]
     known = graph.train.po_index().get((r, o), np.zeros(0, dtype=np.int64))
     return _answers(scores, graph, known, k, exclude_known)

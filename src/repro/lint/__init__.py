@@ -1,0 +1,69 @@
+"""Domain-aware static analysis for the repro codebase.
+
+The paper's experimental claims rest on invariants no framework enforces
+for us: deterministic sampling (every strategy draws from seeded
+``np.random.Generator`` streams) and a correct, lean autodiff tape.  This
+package is an AST-based analyzer with a rule registry, per-file parallel
+walking, inline ``# lint: disable=RPRxxx`` suppressions, and text/JSON
+reporters — run as ``python -m repro.lint``, ``repro lint``, or the
+``repro-lint`` console script.
+
+Rules
+-----
+
+========  ==========================================================
+RPR001    no global-RNG calls — require explicit ``np.random.Generator``
+RPR002    tape hygiene — inference modules score under ``no_grad``
+RPR003    no in-place ``Tensor.data`` mutation outside optim/modules
+RPR004    backward-closure completeness (``_unbroadcast`` / guards)
+RPR005    ``__all__`` ↔ public-def consistency
+RPR006    float64 dtype hygiene, mutable defaults, bare ``except``
+========  ==========================================================
+
+The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
+``src/repro`` and fails on any unsuppressed finding, so these invariants
+hold on every future change.
+"""
+
+from .config import LintConfig, find_pyproject, load_config
+from .engine import LintEngine
+from .findings import PARSE_ERROR_ID, Finding
+from .reporters import render_json, render_text
+from .rules import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    derive_module_name,
+    get_rule,
+    numpy_aliases,
+    register_rule,
+)
+from .suppress import filter_suppressed, suppressed_rule_ids
+
+# Importing the rule modules populates the registry.
+from . import rules_api, rules_hygiene, rules_rng, rules_tape, rules_tensor
+
+__all__ = [
+    "Finding",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "ModuleContext",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "derive_module_name",
+    "numpy_aliases",
+    "LintConfig",
+    "find_pyproject",
+    "load_config",
+    "LintEngine",
+    "render_text",
+    "render_json",
+    "filter_suppressed",
+    "suppressed_rule_ids",
+    "rules_api",
+    "rules_hygiene",
+    "rules_rng",
+    "rules_tape",
+    "rules_tensor",
+]

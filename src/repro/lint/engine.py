@@ -1,0 +1,110 @@
+"""The analysis engine: file collection, parallel walking, suppression.
+
+Each file is parsed once and every enabled rule runs over the shared AST.
+Files are analysed in a thread pool (``ast.parse`` dominates and is
+C-level work, so threads pay off without process-spawn overhead) and the
+combined finding list is sorted, keeping output deterministic regardless
+of scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .config import LintConfig
+from .findings import PARSE_ERROR_ID, Finding
+from .rules import ModuleContext, Rule, all_rules
+from .suppress import filter_suppressed
+
+__all__ = ["LintEngine"]
+
+
+class LintEngine:
+    """Run the enabled rules over sources, files, or directory trees."""
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config or LintConfig()
+        self.rules = self._resolve_rules(self.config)
+
+    @staticmethod
+    def _resolve_rules(config: LintConfig) -> list[Rule]:
+        rules = all_rules()
+        known = {rule.rule_id for rule in rules}
+        unknown = (set(config.enable) | set(config.disable)) - known
+        if unknown:
+            raise ValueError(f"unknown rule ids in config: {sorted(unknown)}")
+        if config.enable:
+            rules = [rule for rule in rules if rule.rule_id in config.enable]
+        return [rule for rule in rules if rule.rule_id not in config.disable]
+
+    # ------------------------------------------------------------------
+    # Single-module entry points
+    # ------------------------------------------------------------------
+    def lint_source(
+        self, source: str, path: str = "<string>", module: str | None = None
+    ) -> list[Finding]:
+        """Analyse one module given as text."""
+        try:
+            ctx = ModuleContext.from_source(source, path=path, module=module)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    rule_id=PARSE_ERROR_ID,
+                    path=path,
+                    line=error.lineno or 1,
+                    col=error.offset or 1,
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        findings = [
+            finding for rule in self.rules for finding in rule.check(ctx)
+        ]
+        return sorted(filter_suppressed(findings, source), key=Finding.sort_key)
+
+    def lint_file(self, path: Path | str, module: str | None = None) -> list[Finding]:
+        path = Path(path)
+        return self.lint_source(
+            path.read_text(encoding="utf-8"), path=str(path), module=module
+        )
+
+    # ------------------------------------------------------------------
+    # Tree walking
+    # ------------------------------------------------------------------
+    def collect_files(self, paths: list[Path | str]) -> list[Path]:
+        """Expand files/directories into a sorted, de-duplicated file list."""
+        files: list[Path] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.rglob("*.py")))
+            elif entry.suffix == ".py":
+                files.append(entry)
+            else:
+                raise FileNotFoundError(f"not a python file or directory: {entry}")
+        unique = sorted(set(files))
+        return [file for file in unique if not self._excluded(file)]
+
+    def _excluded(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return any(fnmatch(posix, pattern) for pattern in self.config.exclude)
+
+    def lint_paths(
+        self, paths: list[Path | str], jobs: int | None = None
+    ) -> list[Finding]:
+        """Analyse every file under ``paths`` in parallel."""
+        files = self.collect_files(paths)
+        if not files:
+            return []
+        workers = jobs or min(len(files), os.cpu_count() or 1)
+        if workers <= 1:
+            results = [self.lint_file(file) for file in files]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(self.lint_file, files))
+        return sorted(
+            (finding for result in results for finding in result),
+            key=Finding.sort_key,
+        )

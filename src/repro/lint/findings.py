@@ -1,0 +1,34 @@
+"""The finding record shared by every rule, the engine, and the reporters."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id used by the engine when a file cannot be parsed at all.
+PARSE_ERROR_ID = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``line`` and ``col`` are 1-based, matching compiler convention so the
+    text reporter's ``path:line:col`` output is editor-clickable.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

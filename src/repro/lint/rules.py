@@ -1,0 +1,124 @@
+"""Rule protocol, module context, and the rule registry.
+
+A rule is a stateless object with a ``rule_id`` and a :meth:`Rule.check`
+method that inspects one parsed module and yields findings.  Rules are
+registered at import time with :func:`register_rule`; the engine runs
+every registered rule that the active configuration enables.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Type
+
+from .findings import Finding
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "derive_module_name",
+    "numpy_aliases",
+]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+def derive_module_name(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through package dirs.
+
+    ``src/repro/discovery/discover.py`` → ``repro.discovery.discover``
+    as long as each parent directory carries an ``__init__.py``.  Files
+    outside any package resolve to their bare stem, which keeps scoped
+    rules (RPR002–RPR004) inert on standalone scripts.
+    """
+    path = Path(path)
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    package = path.parent
+    while (package / "__init__.py").exists():
+        parts.append(package.name)
+        parent = package.parent
+        if parent == package:
+            break
+        package = parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+def numpy_aliases(tree: ast.Module) -> frozenset[str]:
+    """Names the module binds to the numpy package (``numpy``, ``np``, ...)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return frozenset(aliases)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", module: str | None = None
+    ) -> "ModuleContext":
+        if module is None:
+            module = (
+                derive_module_name(Path(path)) if path != "<string>" else "<module>"
+            )
+        return cls(path=path, module=module, source=source, tree=ast.parse(source))
+
+    @classmethod
+    def from_path(cls, path: Path, module: str | None = None) -> "ModuleContext":
+        return cls.from_source(
+            Path(path).read_text(encoding="utf-8"), path=str(path), module=module
+        )
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    rule_id: str = "RPR???"
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule instance to the registry."""
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"rule {cls.rule_id} already registered")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    if rule_id not in _REGISTRY:
+        raise KeyError(f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[rule_id]

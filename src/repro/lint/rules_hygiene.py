@@ -1,0 +1,97 @@
+"""RPR006 — dtype and general code hygiene.
+
+Three checks share this id:
+
+* **float64 dtype hygiene** — the autograd engine is float64-only (the
+  ``Tensor`` constructor coerces), so introducing ``np.float32`` /
+  ``np.float16`` (or their ``dtype="float32"`` string forms) anywhere
+  creates silent up/down-casts at the tape boundary and non-reproducible
+  precision drift between code paths.
+* **mutable default arguments** — the classic shared-state trap.
+* **bare ``except:``** — swallows ``KeyboardInterrupt``/``SystemExit``
+  and hides real failures in long experiment runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, numpy_aliases, register_rule
+
+__all__ = ["HygieneRule"]
+
+_NARROW_FLOAT_ATTRS = frozenset({"float32", "float16", "half", "single"})
+_NARROW_FLOAT_STRINGS = frozenset({"float32", "float16"})
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+@register_rule
+class HygieneRule(Rule):
+    rule_id = "RPR006"
+    name = "hygiene"
+    description = (
+        "float64-only dtype discipline, no mutable default arguments, "
+        "no bare except clauses"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        np_names = numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _NARROW_FLOAT_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in np_names
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.value.id}.{node.attr} breaks the engine's "
+                    "float64-only dtype discipline",
+                )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "dtype"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value in _NARROW_FLOAT_STRINGS
+                    ):
+                        yield self.finding(
+                            ctx,
+                            keyword.value,
+                            f"dtype={keyword.value.value!r} breaks the "
+                            "engine's float64-only dtype discipline",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    default
+                    for default in node.args.kw_defaults
+                    if default is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {node.name}(); "
+                            "use None and initialise inside the function",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )

@@ -1,0 +1,128 @@
+"""RPR001 — no global random-number-generator state.
+
+Every sampling strategy in the paper draws from *seeded* distributions;
+the reproduction guarantees bit-for-bit determinism by threading explicit
+``numpy.random.Generator`` objects through every code path.  A single
+call into the legacy global RNG (``np.random.seed`` / ``np.random.rand``
+/ ...) or the stdlib ``random`` module silently couples results to
+process-global state and import order, so this rule bans them outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, numpy_aliases, register_rule
+
+__all__ = ["GlobalRngRule"]
+
+#: The explicit-generator surface of ``numpy.random`` that stays legal.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Stdlib ``random`` attributes that do not touch the global generator.
+_ALLOWED_STDLIB_RANDOM = frozenset({"Random", "SystemRandom"})
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    rule_id = "RPR001"
+    name = "no-global-rng"
+    description = (
+        "global RNG calls (np.random.seed/rand/choice/... or stdlib random.*) "
+        "are banned; thread an explicit np.random.Generator instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        np_names = set(numpy_aliases(ctx.tree))
+        np_random_names = set()
+        stdlib_names = set()
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy.random":
+                        if alias.asname:
+                            np_random_names.add(alias.asname)
+                        else:
+                            # `import numpy.random` binds the name `numpy`.
+                            np_names.add("numpy")
+                    elif alias.name == "random":
+                        stdlib_names.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_names.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_NP_RANDOM:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"import of numpy.random.{alias.name} uses the "
+                                "global RNG; use np.random.default_rng(seed)",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_STDLIB_RANDOM:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"import of random.{alias.name} uses global RNG "
+                                "state; use an explicit np.random.Generator",
+                            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            target = self._global_rng_attribute(
+                node, np_names, np_random_names, stdlib_names
+            )
+            if target is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{target} relies on global RNG state; pass an explicit "
+                    "np.random.Generator (np.random.default_rng(seed))",
+                )
+
+    @staticmethod
+    def _global_rng_attribute(
+        node: ast.Attribute,
+        np_names: set[str],
+        np_random_names: set[str],
+        stdlib_names: set[str],
+    ) -> str | None:
+        """Dotted name of a banned RNG access, or None if ``node`` is fine."""
+        value = node.value
+        # np.random.<attr> — two-level chain rooted at a numpy alias.
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in np_names
+            and node.attr not in _ALLOWED_NP_RANDOM
+        ):
+            return f"{value.value.id}.random.{node.attr}"
+        if isinstance(value, ast.Name):
+            # <np_random_alias>.<attr> from `import numpy.random as npr`
+            # or `from numpy import random`.
+            if value.id in np_random_names and node.attr not in _ALLOWED_NP_RANDOM:
+                return f"{value.id}.{node.attr}"
+            if value.id in stdlib_names and node.attr not in _ALLOWED_STDLIB_RANDOM:
+                return f"{value.id}.{node.attr}"
+        return None

@@ -1,0 +1,216 @@
+"""RPR003 / RPR004 — autodiff-tape integrity rules.
+
+RPR003 bans in-place mutation of ``Tensor.data`` outside the modules that
+own parameter updates (``repro.autograd.optim`` / ``modules`` / the
+tensor engine itself).  Writing through ``.data`` bypasses the tape, so a
+mutation anywhere else silently corrupts gradients recorded before it.
+Constructor-time initialisation (inside ``__init__``) is exempt: no tape
+exists before the first forward pass.
+
+RPR004 checks backward-closure completeness inside ``repro.autograd``:
+an op that attaches two or more parents via ``Tensor._make`` broadcasts,
+so each ``_accumulate`` call in its backward closure must either route
+the gradient through ``_unbroadcast`` or sit under an explicit
+``requires_grad`` guard (the style used when shapes are exact by
+construction).  Direct writes to ``.grad`` inside a backward closure are
+always flagged — they bypass ``_accumulate``'s requires_grad guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, register_rule
+
+__all__ = ["DataMutationRule", "BackwardClosureRule"]
+
+#: Modules allowed to write through ``Tensor.data``.
+_MUTATION_EXEMPT = (
+    "repro.autograd.optim",
+    "repro.autograd.modules",
+    "repro.autograd.tensor",
+)
+
+_AUTOGRAD_PREFIX = "repro.autograd"
+
+
+def _mutated_data_attribute(target: ast.expr) -> ast.Attribute | None:
+    """The ``<x>.data`` attribute written by an assignment target, if any."""
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return target
+    return None
+
+
+@register_rule
+class DataMutationRule(Rule):
+    rule_id = "RPR003"
+    name = "no-data-mutation"
+    description = (
+        "in-place writes to Tensor.data outside repro.autograd.{optim,"
+        "modules} bypass the gradient tape"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if any(
+            ctx.module == exempt or ctx.module.startswith(exempt + ".")
+            for exempt in _MUTATION_EXEMPT
+        ):
+            return
+        yield from self._walk(ctx, ctx.tree, in_init=False)
+
+    def _walk(
+        self, ctx: ModuleContext, node: ast.AST, in_init: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_in_init = in_init or (
+                isinstance(child, ast.FunctionDef) and child.name == "__init__"
+            )
+            targets: list[ast.expr] = []
+            if isinstance(child, ast.Assign):
+                targets = list(child.targets)
+            elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                targets = [child.target]
+            for target in targets:
+                attribute = _mutated_data_attribute(target)
+                if attribute is not None and not child_in_init:
+                    yield self.finding(
+                        ctx,
+                        attribute,
+                        "in-place mutation of .data outside "
+                        "repro.autograd.{optim,modules} bypasses the tape; "
+                        "route updates through an optimizer or Module method",
+                    )
+            yield from self._walk(ctx, child, child_in_init)
+
+
+def _contains_unbroadcast(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == "_unbroadcast"
+        for sub in ast.walk(node)
+    )
+
+
+def _test_mentions_requires_grad(test: ast.expr) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "requires_grad"
+        for sub in ast.walk(test)
+    )
+
+
+@register_rule
+class BackwardClosureRule(Rule):
+    rule_id = "RPR004"
+    name = "backward-closure-completeness"
+    description = (
+        "multi-parent backward closures must _unbroadcast gradients or "
+        "guard each parent with requires_grad; never write .grad directly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not (
+            ctx.module == _AUTOGRAD_PREFIX
+            or ctx.module.startswith(_AUTOGRAD_PREFIX + ".")
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name == "backward":
+                yield from self._check_grad_writes(ctx, node)
+            nested = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+            }
+            for closure in self._multi_parent_closures(node, nested):
+                yield from self._check_accumulates(ctx, closure)
+
+    @staticmethod
+    def _multi_parent_closures(
+        func: ast.FunctionDef, nested: dict[str, ast.FunctionDef]
+    ) -> Iterator[ast.FunctionDef]:
+        """Backward closures passed to ``Tensor._make`` with ≥2 parents.
+
+        Only literal parent tuples are sized statically; ops that build
+        their parent list dynamically (concatenate/stack/conv2d) are out
+        of reach for this check and rely on tests instead.
+        """
+        for call in ast.walk(func):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "_make"
+                and len(call.args) >= 3
+            ):
+                continue
+            parents, backward = call.args[1], call.args[2]
+            if (
+                isinstance(parents, ast.Tuple)
+                and len(parents.elts) >= 2
+                and isinstance(backward, ast.Name)
+                and backward.id in nested
+            ):
+                yield nested[backward.id]
+
+    def _check_accumulates(
+        self, ctx: ModuleContext, closure: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(closure):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for node in ast.walk(closure):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_accumulate"
+            ):
+                continue
+            if any(_contains_unbroadcast(arg) for arg in node.args):
+                continue
+            if self._guarded_by_requires_grad(node, parents):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "_accumulate in a multi-parent backward closure neither "
+                "routes through _unbroadcast nor sits under a "
+                "requires_grad guard; broadcast gradients will be misshapen",
+            )
+
+    @staticmethod
+    def _guarded_by_requires_grad(
+        node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.If) and _test_mentions_requires_grad(
+                current.test
+            ):
+                return True
+            current = parents.get(current)
+        return False
+
+    def _check_grad_writes(
+        self, ctx: ModuleContext, closure: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(closure):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                while isinstance(target, ast.Subscript):
+                    target = target.value
+                if isinstance(target, ast.Attribute) and target.attr == "grad":
+                    yield self.finding(
+                        ctx,
+                        target,
+                        "direct write to .grad inside a backward closure "
+                        "bypasses _accumulate's requires_grad guard",
+                    )

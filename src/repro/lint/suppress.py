@@ -1,0 +1,55 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a ``# lint: disable=RPR001`` comment either on
+the offending line itself or on a standalone comment line directly above
+it (the place to put the justification).  Several ids may be given
+comma-separated; ``all`` disables every rule for that line.  Suppressions
+are deliberately line-scoped — there is no file- or block-level escape
+hatch, so every exception stays visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import Finding
+
+__all__ = ["suppressed_rule_ids", "filter_suppressed"]
+
+_MARKER = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)")
+
+
+def suppressed_rule_ids(source: str) -> dict[int, frozenset[str]]:
+    """Map of 1-based line number → rule ids suppressed on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            out[lineno] = frozenset(ids)
+    return out
+
+
+def _suppresses(ids: frozenset[str] | None, rule_id: str) -> bool:
+    return ids is not None and (rule_id in ids or "all" in ids)
+
+
+def filter_suppressed(findings: list[Finding], source: str) -> list[Finding]:
+    """Drop findings silenced by an inline or directly-preceding comment."""
+    markers = suppressed_rule_ids(source)
+    if not markers:
+        return findings
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        if _suppresses(markers.get(finding.line), finding.rule_id):
+            continue
+        previous = finding.line - 1
+        if (
+            _suppresses(markers.get(previous), finding.rule_id)
+            and 1 <= previous <= len(lines)
+            and lines[previous - 1].lstrip().startswith("#")
+        ):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,11 @@
+"""RPR004 bad fixture: broadcastable binop with unguarded _accumulate."""
+
+
+def add(a, b):
+    out_data = a.data + b.data
+
+    def backward(grad):
+        a._accumulate(grad)
+        b._accumulate(grad)
+
+    return a._make(out_data, (a, b), backward)

@@ -1,0 +1,12 @@
+"""RPR004 clean fixture: both accepted backward-closure styles."""
+
+
+def add(a, b):
+    out_data = a.data + b.data
+
+    def backward(grad):
+        a._accumulate(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(grad)
+
+    return a._make(out_data, (a, b), backward)

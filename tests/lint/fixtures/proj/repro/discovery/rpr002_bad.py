@@ -1,0 +1,9 @@
+"""RPR002 bad fixture: unguarded scoring in an inference-scoped module."""
+
+from repro.kge.evaluation import compute_ranks
+
+
+def rank_candidates(model, candidates, train):
+    scores = model.scores_spo(candidates)
+    ranks = compute_ranks(model, candidates, filter_triples=train)
+    return scores, ranks

@@ -1,0 +1,11 @@
+"""RPR002 clean fixture: every scoring call sits under no_grad."""
+
+from repro.autograd import no_grad
+from repro.kge.evaluation import compute_ranks
+
+
+def rank_candidates(model, candidates, train):
+    with no_grad():
+        scores = model.scores_spo(candidates)
+        ranks = compute_ranks(model, candidates, filter_triples=train)
+    return scores, ranks

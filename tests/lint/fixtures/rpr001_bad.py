@@ -1,0 +1,11 @@
+"""RPR001 bad fixture: global RNG state in three flavours."""
+
+import random
+
+import numpy as np
+
+
+def sample_ids(n):
+    np.random.seed(0)
+    picks = np.random.choice(n, size=3)
+    return picks, random.randint(0, n)

@@ -1,0 +1,14 @@
+"""RPR001 clean fixture: randomness flows through explicit generators."""
+
+from random import Random
+
+import numpy as np
+
+
+def sample_ids(n, rng):
+    local = Random(12345)
+    return rng.choice(n, size=3), local.randint(0, n)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

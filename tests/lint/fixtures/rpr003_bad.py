@@ -1,0 +1,6 @@
+"""RPR003 bad fixture: in-place Tensor.data write outside the optim layer."""
+
+
+def clamp_weights(tensor, limit):
+    tensor.data[:] = limit
+    return tensor

@@ -1,0 +1,11 @@
+"""RPR003 clean fixture: tape-safe reads plus the ``__init__`` exemption."""
+
+
+class Scaler:
+    def __init__(self, weight):
+        self.weight = weight
+        # No tape exists before the first forward pass.
+        self.weight.data[...] = 1.0
+
+    def scaled(self, factor):
+        return self.weight * factor

@@ -1,0 +1,11 @@
+"""RPR005 bad fixture: __all__ drifts in both directions."""
+
+__all__ = ["exported_missing", "helper"]
+
+
+def helper():
+    return 1
+
+
+def public_but_unlisted():
+    return 2

@@ -1,0 +1,11 @@
+"""RPR005 clean fixture: __all__ matches the public surface exactly."""
+
+__all__ = ["helper"]
+
+
+def helper():
+    return 1
+
+
+def _private():
+    return 2

@@ -1,0 +1,10 @@
+"""RPR006 bad fixture: narrow dtypes, mutable default, bare except."""
+
+import numpy as np
+
+
+def collect(values=[], dtype=np.float32):
+    try:
+        return np.asarray(values, dtype="float32")
+    except:
+        return None

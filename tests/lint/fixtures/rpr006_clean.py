@@ -1,0 +1,12 @@
+"""RPR006 clean fixture: float64 discipline and tidy defaults."""
+
+import numpy as np
+
+
+def collect(values=None):
+    if values is None:
+        values = []
+    try:
+        return np.asarray(values, dtype=np.float64)
+    except ValueError:
+        return None

@@ -1,0 +1,9 @@
+"""Suppression fixture: line-scoped disables for RPR001."""
+
+import numpy as np
+
+inline = np.random.rand(3)  # lint: disable=RPR001
+# The next line is excused by a standalone marker comment.
+# lint: disable=all
+preceding = np.random.rand(3)
+leaked = np.random.rand(3)

@@ -1,0 +1,192 @@
+"""Engine plumbing: config, file collection, parallelism, reporters, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli as repro_cli
+from repro.lint import (
+    Finding,
+    LintConfig,
+    LintEngine,
+    load_config,
+    render_json,
+    render_text,
+)
+from repro.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_FIXTURES = [
+    "rpr001_bad.py",
+    "proj/repro/discovery/rpr002_bad.py",
+    "rpr003_bad.py",
+    "proj/repro/autograd/rpr004_bad.py",
+    "rpr005_bad.py",
+    "rpr006_bad.py",
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def test_load_config_resolves_relative_paths(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\npaths = ["src"]\ndisable = ["RPR006"]\n'
+        'exclude = ["*/gen/*"]\n',
+        encoding="utf-8",
+    )
+    config = load_config(pyproject=tmp_path / "pyproject.toml")
+    assert config.paths == (str(tmp_path / "src"),)
+    assert config.disable == ("RPR006",)
+    assert config.exclude == ("*/gen/*",)
+
+
+def test_load_config_walks_up_from_start(tmp_path):
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\ndisable = ["RPR001"]\n', encoding="utf-8"
+    )
+    config = load_config(start=nested)
+    assert config.disable == ("RPR001",)
+    assert config.source == str(tmp_path / "pyproject.toml")
+
+
+def test_load_config_rejects_unknown_keys(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\nbogus = 1\n", encoding="utf-8"
+    )
+    with pytest.raises(ValueError, match="bogus"):
+        load_config(pyproject=tmp_path / "pyproject.toml")
+
+
+def test_missing_table_yields_defaults(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    assert load_config(pyproject=tmp_path / "pyproject.toml") == LintConfig(
+        source=str(tmp_path / "pyproject.toml")
+    )
+
+
+def test_merged_with_cli_narrows_but_never_widens():
+    config = LintConfig(disable=("RPR001",), exclude=("a",))
+    merged = config.merged_with_cli(
+        enable=("RPR002",), disable=("RPR003",), exclude=("b",)
+    )
+    assert merged.enable == ("RPR002",)
+    assert merged.disable == ("RPR001", "RPR003")
+    assert merged.exclude == ("a", "b")
+
+
+def test_engine_rejects_unknown_rule_ids():
+    with pytest.raises(ValueError, match="RPR999"):
+        LintEngine(LintConfig(enable=("RPR999",)))
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+def test_syntax_error_reports_rpr000():
+    findings = LintEngine().lint_source("def broken(:\n", path="x.py")
+    assert [finding.rule_id for finding in findings] == ["RPR000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_collect_files_applies_exclude_patterns():
+    engine = LintEngine(LintConfig(exclude=("*/proj/*",)))
+    files = engine.collect_files([FIXTURES])
+    names = {file.name for file in files}
+    assert "rpr001_bad.py" in names
+    assert not any("proj" in file.parts for file in files)
+
+
+def test_collect_files_rejects_non_python_paths(tmp_path):
+    (tmp_path / "notes.txt").write_text("hi", encoding="utf-8")
+    with pytest.raises(FileNotFoundError):
+        LintEngine().collect_files([tmp_path / "notes.txt"])
+
+
+def test_parallel_and_serial_scans_agree():
+    engine = LintEngine()
+    serial = engine.lint_paths([FIXTURES], jobs=1)
+    parallel = engine.lint_paths([FIXTURES], jobs=4)
+    assert serial == parallel
+    assert serial, "the bad fixtures must produce findings"
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_render_text_is_compiler_style():
+    finding = Finding("RPR001", "x.py", 3, 1, "msg")
+    out = render_text([finding], checked_files=2)
+    assert "x.py:3:1: RPR001 msg" in out
+    assert out.endswith("1 finding in 1 file (2 files checked)")
+
+
+def test_render_json_round_trips():
+    finding = Finding("RPR001", "x.py", 3, 1, "msg")
+    payload = json.loads(render_json([finding], checked_files=1))
+    assert payload["count"] == 1
+    assert payload["checked_files"] == 1
+    assert payload["findings"][0]["rule_id"] == "RPR001"
+    assert payload["findings"][0]["line"] == 3
+
+
+# ----------------------------------------------------------------------
+# Command-line interface
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture", BAD_FIXTURES)
+def test_cli_exits_nonzero_on_bad_fixture(fixture, capsys):
+    assert lint_main([str(FIXTURES / fixture), "--no-config"]) == 1
+    assert "RPR" in capsys.readouterr().out
+
+
+def test_cli_exits_zero_on_clean_fixture(capsys):
+    assert lint_main([str(FIXTURES / "rpr001_clean.py"), "--no-config"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    code = lint_main(
+        [str(FIXTURES / "rpr005_bad.py"), "--no-config", "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 2
+
+
+def test_cli_disable_silences_a_rule(capsys):
+    code = lint_main(
+        [str(FIXTURES / "rpr003_bad.py"), "--no-config", "--disable", "RPR003"]
+    )
+    assert code == 0
+
+
+def test_cli_unknown_rule_id_is_a_usage_error(capsys):
+    code = lint_main(
+        [str(FIXTURES / "rpr003_bad.py"), "--no-config", "--enable", "RPR999"]
+    )
+    assert code == 2
+    assert "RPR999" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        assert rule_id in out
+
+
+def test_repro_cli_forwards_lint_arguments(capsys):
+    code = repro_cli.main(
+        ["lint", str(FIXTURES / "rpr001_clean.py"), "--no-config"]
+    )
+    assert code == 0
+    code = repro_cli.main(
+        ["lint", "--", str(FIXTURES / "rpr001_bad.py"), "--no-config"]
+    )
+    assert code == 1

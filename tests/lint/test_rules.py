@@ -1,0 +1,125 @@
+"""Per-rule fixture pairs plus targeted unit checks.
+
+Every rule RPR001–RPR006 has one *bad* fixture (flagged with exactly the
+expected findings) and one *clean* fixture (no findings under the full
+rule set, which also proves the fixtures do not trip each other's rules).
+The scoped rules (RPR002/RPR004) live under a fake package tree in
+``fixtures/proj`` so module-name derivation resolves them into the
+``repro.*`` namespaces the rules watch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, derive_module_name
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ENGINE = LintEngine()
+
+#: (rule id, bad fixture, clean fixture, findings expected in the bad one).
+CASES = [
+    ("RPR001", "rpr001_bad.py", "rpr001_clean.py", 3),
+    (
+        "RPR002",
+        "proj/repro/discovery/rpr002_bad.py",
+        "proj/repro/discovery/rpr002_clean.py",
+        2,
+    ),
+    ("RPR003", "rpr003_bad.py", "rpr003_clean.py", 1),
+    (
+        "RPR004",
+        "proj/repro/autograd/rpr004_bad.py",
+        "proj/repro/autograd/rpr004_clean.py",
+        2,
+    ),
+    ("RPR005", "rpr005_bad.py", "rpr005_clean.py", 2),
+    ("RPR006", "rpr006_bad.py", "rpr006_clean.py", 4),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id, bad, clean, count", CASES, ids=[case[0] for case in CASES]
+)
+def test_bad_fixture_is_flagged(rule_id, bad, clean, count):
+    findings = ENGINE.lint_file(FIXTURES / bad)
+    assert [finding.rule_id for finding in findings] == [rule_id] * count
+
+
+@pytest.mark.parametrize(
+    "rule_id, bad, clean, count", CASES, ids=[case[0] for case in CASES]
+)
+def test_clean_fixture_passes_all_rules(rule_id, bad, clean, count):
+    assert ENGINE.lint_file(FIXTURES / clean) == []
+
+
+def test_derive_module_name_walks_packages():
+    scoped = FIXTURES / "proj" / "repro" / "discovery" / "rpr002_bad.py"
+    assert derive_module_name(scoped) == "repro.discovery.rpr002_bad"
+    assert derive_module_name(FIXTURES / "rpr001_bad.py") == "rpr001_bad"
+
+
+def test_rpr001_flags_global_rng_imports():
+    findings = ENGINE.lint_source("from numpy.random import rand\n")
+    assert [finding.rule_id for finding in findings] == ["RPR001"]
+    findings = ENGINE.lint_source("from random import shuffle\n")
+    assert [finding.rule_id for finding in findings] == ["RPR001"]
+
+
+def test_rpr001_allows_generator_surface():
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "bits = np.random.PCG64(0)\n"
+    )
+    assert ENGINE.lint_source(source) == []
+
+
+def test_rpr002_only_fires_in_scoped_modules():
+    source = "def f(model, c):\n    return model.score_spo(c)\n"
+    assert ENGINE.lint_source(source, module="repro.kge.base") == []
+    findings = ENGINE.lint_source(source, module="repro.discovery.candidates")
+    assert [finding.rule_id for finding in findings] == ["RPR002"]
+
+
+def test_rpr002_nested_function_escapes_enclosing_guard():
+    source = (
+        "def outer(model, c):\n"
+        "    with no_grad():\n"
+        "        def later():\n"
+        "            return model.score_spo(c)\n"
+        "        return later\n"
+    )
+    findings = ENGINE.lint_source(source, module="repro.discovery.lazy")
+    assert [finding.rule_id for finding in findings] == ["RPR002"]
+
+
+def test_rpr003_exempts_the_parameter_update_modules():
+    source = "def step(param, grad):\n    param.data[:] = param.data - grad\n"
+    assert ENGINE.lint_source(source, module="repro.autograd.optim") == []
+    findings = ENGINE.lint_source(source, module="repro.kge.training")
+    assert [finding.rule_id for finding in findings] == ["RPR003"]
+
+
+def test_rpr004_flags_direct_grad_writes():
+    source = (
+        "def scale(a, factor):\n"
+        "    def backward(grad):\n"
+        "        a.grad = grad * factor\n"
+        "    return a._make(a.data * factor, (a,), backward)\n"
+    )
+    findings = ENGINE.lint_source(source, module="repro.autograd.extra")
+    assert [finding.rule_id for finding in findings] == ["RPR004"]
+
+
+def test_rpr005_rejects_non_literal_all():
+    findings = ENGINE.lint_source("__all__ = [name for name in dir()]\n")
+    assert [finding.rule_id for finding in findings] == ["RPR005"]
+    assert "literal" in findings[0].message
+
+
+def test_rpr005_skips_modules_without_all():
+    assert ENGINE.lint_source("def public():\n    return 1\n") == []

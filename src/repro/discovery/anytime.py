@@ -32,7 +32,7 @@ from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
-from ..kge.evaluation import compute_ranks
+from ..kge.ranking import RankingEngine
 from .strategies import SamplingStrategy, create_strategy
 
 __all__ = ["AnytimeResult", "anytime_discover"]
@@ -52,6 +52,7 @@ class AnytimeResult:
     pulls: dict[int, int] = field(default_factory=dict)
     rewards: dict[int, float] = field(default_factory=dict)
     exhausted: dict[int, bool] = field(default_factory=dict)
+    ranking_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_facts(self) -> int:
@@ -75,7 +76,7 @@ class _RelationArm:
         self.relation = relation
         self.pulls = 0
         self.total_reward = 0.0
-        self.seen_keys: set[int] = set()
+        self.seen_keys = np.empty(0, dtype=np.int64)
         self.exhausted = False
 
     @property
@@ -101,6 +102,9 @@ def anytime_discover(
     seed: int = 0,
     stats: GraphStatistics | None = None,
     max_pulls: int = 10_000,
+    engine: RankingEngine | None = None,
+    workers: int = 1,
+    cache_size: int = 512,
 ) -> AnytimeResult:
     """Discover facts until the wall-clock budget is exhausted.
 
@@ -117,6 +121,16 @@ def anytime_discover(
         UCB exploration constant ``c``; ignored by round-robin.
     max_pulls:
         Hard safety cap on the number of pulls.
+    engine:
+        A shared :class:`~repro.kge.ranking.RankingEngine`; built from
+        ``workers`` / ``cache_size`` when omitted.  The score-row cache
+        matters here: successive pulls of the same relation re-sample
+        popular subjects, and their ``(s, r)`` rows are served from the
+        cache instead of being re-scored.
+    workers:
+        Thread-pool width when ``engine`` is omitted.
+    cache_size:
+        LRU score-row cache entries when ``engine`` is omitted.
     """
     if scheduler not in _SCHEDULERS:
         raise ValueError(f"scheduler must be one of {_SCHEDULERS}, got {scheduler!r}")
@@ -136,6 +150,9 @@ def anytime_discover(
     relations = [int(r) for r in train.unique_relations()]
     arms = {r: _RelationArm(r) for r in relations}
     sample_size = int(np.sqrt(batch_candidates)) + 2
+    if engine is None:
+        engine = RankingEngine(cache_size=cache_size, workers=workers)
+    stats_baseline = engine.stats.as_dict()
 
     all_facts: list[np.ndarray] = []
     all_ranks: list[np.ndarray] = []
@@ -169,12 +186,14 @@ def anytime_discover(
         )
         candidates = candidates[candidates[:, 0] != candidates[:, 2]]
         candidates = candidates[~train.contains(candidates)]
+        # Vectorised cross-pull dedup against the arm's sorted key array
+        # (same semantics as the retired per-key Python loop).
         keys = encode_keys(candidates, train.num_entities, train.num_relations)
-        fresh = np.asarray(
-            [k not in arm.seen_keys for k in keys.tolist()], dtype=bool
-        )
+        fresh = ~np.isin(keys, arm.seen_keys)
         candidates = candidates[fresh][:batch_candidates]
-        arm.seen_keys.update(keys[fresh][:batch_candidates].tolist())
+        arm.seen_keys = np.union1d(
+            arm.seen_keys, keys[fresh][:batch_candidates]
+        )
 
         if len(candidates) == 0:
             # Nothing new to try for this relation: retire the arm.
@@ -183,7 +202,7 @@ def anytime_discover(
             continue
 
         with no_grad():
-            ranks = compute_ranks(
+            ranks = engine.compute_ranks(
                 model, candidates, filter_triples=train, side="object"
             )
         keep = ranks <= top_n
@@ -201,6 +220,7 @@ def anytime_discover(
         else np.zeros((0, 3), dtype=np.int64)
     )
     ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
+    after = engine.stats.as_dict()
     return AnytimeResult(
         facts=facts,
         ranks=ranks,
@@ -210,4 +230,7 @@ def anytime_discover(
         pulls={r: arms[r].pulls for r in relations},
         rewards={r: arms[r].mean_reward for r in relations},
         exhausted={r: arms[r].exhausted for r in relations},
+        ranking_stats={
+            key: after[key] - stats_baseline.get(key, 0) for key in after
+        },
     )

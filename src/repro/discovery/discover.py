@@ -26,9 +26,9 @@ import numpy as np
 from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
-from ..kg.triples import TripleSet, encode_keys
+from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
-from ..kge.evaluation import compute_ranks
+from ..kge.ranking import RankingEngine
 from .strategies import SamplingStrategy, create_strategy
 
 __all__ = ["DiscoveryResult", "discover_facts", "MAX_GENERATION_ITERATIONS"]
@@ -54,6 +54,7 @@ class DiscoveryResult:
     ranking_seconds: float
     weight_seconds: float
     per_relation: dict[int, int] = field(default_factory=dict)
+    ranking_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_facts(self) -> int:
@@ -111,8 +112,14 @@ class DiscoveryResult:
         Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     def summary(self) -> dict[str, float]:
-        """Flat metric dict for tables and benchmarks."""
-        return {
+        """Flat metric dict for tables and benchmarks.
+
+        When the run went through a :class:`~repro.kge.ranking.RankingEngine`
+        the engine's instrumentation counters (``unique_queries``,
+        ``rows_scored``, ``rows_reused``, ``cache_hits``,
+        ``score_seconds``, ``filter_seconds``, …) are included.
+        """
+        out = {
             "strategy": self.strategy,
             "num_facts": self.num_facts,
             "mrr": self.mrr(),
@@ -123,6 +130,8 @@ class DiscoveryResult:
             "efficiency_facts_per_hour": self.efficiency_facts_per_hour(),
             "candidates_generated": self.candidates_generated,
         }
+        out.update(self.ranking_stats)
+        return out
 
 
 def _mesh_candidates(
@@ -148,6 +157,9 @@ def discover_facts(
     stats: GraphStatistics | None = None,
     drop_self_loops: bool = True,
     rule_filter: "RuleFilter | None" = None,
+    engine: RankingEngine | None = None,
+    workers: int = 1,
+    cache_size: int = 128,
 ) -> DiscoveryResult:
     """Discover plausible missing facts from a trained KGE model.
 
@@ -181,6 +193,19 @@ def discover_facts(
         Optional :class:`~repro.discovery.rules.RuleFilter` applied to
         each candidate batch before ranking — the paper's §6 "pruning
         mechanisms" direction combining CHAI-style rules with sampling.
+    engine:
+        A shared :class:`~repro.kge.ranking.RankingEngine`; when omitted
+        one is built from ``workers`` / ``cache_size``.  Results are
+        identical either way — the engine only changes how ranking is
+        computed, never what it returns.
+    workers:
+        Thread-pool width for scoring independent query chunks (only
+        used when ``engine`` is omitted).
+    cache_size:
+        LRU score-row cache entries (only used when ``engine`` is
+        omitted); lets later generation iterations reuse rows for
+        re-sampled ``(s, r)`` queries.  Each entry holds two
+        ``num_entities``-sized float64 rows.
 
     Returns
     -------
@@ -203,6 +228,10 @@ def discover_facts(
     train = graph.train
     if stats is None:
         stats = GraphStatistics(train)
+    if engine is None:
+        engine = RankingEngine(cache_size=cache_size, workers=workers)
+    stats_before = getattr(engine, "stats", None)
+    stats_baseline = stats_before.as_dict() if stats_before is not None else {}
 
     if isinstance(strategy, str):
         strategy = create_strategy(strategy)
@@ -231,7 +260,7 @@ def discover_facts(
         t0 = time.perf_counter()
         local: list[np.ndarray] = []
         local_count = 0
-        seen_keys: set[int] = set()
+        seen_keys = np.empty(0, dtype=np.int64)
         iterations = 0
         while local_count < max_candidates and iterations < MAX_GENERATION_ITERATIONS:
             subjects = strategy.sample(SUBJECT, sample_size, rng, relation=relation)
@@ -243,13 +272,13 @@ def discover_facts(
             candidates = candidates[~train.contains(candidates)]
             if rule_filter is not None:
                 candidates = candidates[rule_filter.accept_mask(candidates)]
-            # Deduplicate across iterations.
+            # Deduplicate across iterations: vectorised probe against the
+            # sorted seen-keys array (repeats *within* one mesh batch are
+            # kept, exactly as the retired per-key Python loop did).
             keys = encode_keys(candidates, train.num_entities, train.num_relations)
-            fresh = np.asarray(
-                [k not in seen_keys for k in keys.tolist()], dtype=bool
-            )
+            fresh = ~np.isin(keys, seen_keys)
             candidates = candidates[fresh]
-            seen_keys.update(keys[fresh].tolist())
+            seen_keys = np.union1d(seen_keys, keys[fresh])
             local.append(candidates)
             local_count += len(candidates)
             iterations += 1
@@ -265,12 +294,13 @@ def discover_facts(
             continue
 
         # Line 14: rank candidates against their corruptions (standard
-        # filtered protocol per Bordes et al.).  Scoring is pure
-        # inference: no_grad keeps the tape from recording backward
-        # closures for millions of candidate scores.
+        # filtered protocol per Bordes et al.), deduplicated by unique
+        # (s, r) query.  Scoring is pure inference: no_grad keeps the
+        # tape from recording backward closures for millions of
+        # candidate scores.
         t0 = time.perf_counter()
         with no_grad():
-            ranks = compute_ranks(
+            ranks = engine.compute_ranks(
                 model,
                 relation_candidates,
                 filter_triples=train,
@@ -308,6 +338,12 @@ def discover_facts(
         generation_seconds,
         ranking_seconds,
     )
+    ranking_stats: dict[str, float] = {}
+    if stats_before is not None:
+        after = stats_before.as_dict()
+        ranking_stats = {
+            key: after[key] - stats_baseline.get(key, 0) for key in after
+        }
     return DiscoveryResult(
         facts=facts,
         ranks=ranks,
@@ -319,4 +355,5 @@ def discover_facts(
         ranking_seconds=ranking_seconds,
         weight_seconds=weight_seconds,
         per_relation=per_relation,
+        ranking_stats=ranking_stats,
     )

@@ -29,6 +29,7 @@ from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kg.triples import TripleSet, encode_keys
 from ..kge.config import ModelConfig, TrainConfig
+from ..kge.ranking import RankingEngine
 from ..kge.training import fit
 from .discover import DiscoveryResult, discover_facts
 
@@ -113,8 +114,13 @@ def heldout_discovery_protocol(
     top_n: int = 50,
     max_candidates: int = 500,
     seed: int = 0,
+    engine: RankingEngine | None = None,
 ) -> ProtocolResult:
-    """Run the full hide → train → discover → score protocol."""
+    """Run the full hide → train → discover → score protocol.
+
+    ``engine`` is forwarded to :func:`discover_facts`, so protocol
+    re-runs over the same reduced graph can share one score-row cache.
+    """
     reduced, hidden = hide_triples(graph, hide_fraction, seed=seed)
     model = fit(reduced, model_config, train_config).model
     # Discovery is pure inference on the trained model; keep the whole
@@ -128,6 +134,7 @@ def heldout_discovery_protocol(
             max_candidates=max_candidates,
             seed=seed,
             stats=GraphStatistics(reduced.train),
+            engine=engine,
         )
 
     recovered_mask = (

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import logging
 import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -169,21 +170,26 @@ def get_trained_model(
 
     cache_path = _cache_dir() / f"{dataset_name}__{model_name}.npz"
     if use_disk_cache and cache_path.is_file():
-        stored = np.load(cache_path)
         try:
+            stored = np.load(cache_path)
             model.load_state_dict({k: stored[k] for k in stored.files})
             model.eval()
             _MODEL_CACHE[key] = model
             logger.info("loaded %s/%s from disk cache", dataset_name, model_name)
             return model
-        except (KeyError, ValueError):
+        except (KeyError, ValueError, OSError, zipfile.BadZipFile):
+            # Stale cache from an older config, or a truncated/corrupt
+            # archive — either way retrain and overwrite it below.
             logger.warning(
-                "stale disk cache for %s/%s; retraining", dataset_name, model_name
+                "unusable disk cache for %s/%s; retraining",
+                dataset_name,
+                model_name,
             )
-            cache_path.unlink()  # stale cache from an older config
+            cache_path.unlink()
 
     logger.info("training %s on %s", model_name, dataset_name)
     train_model(model, graph, default_train_config(model_name))
+    model.eval()  # match the cache-load path (batch norm / dropout)
     if use_disk_cache:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         np.savez(cache_path, **model.state_dict())

@@ -16,6 +16,7 @@ from .distmult import DistMult
 from .evaluation import (
     RankingMetrics,
     compute_ranks,
+    compute_ranks_reference,
     evaluate_ranking,
     generate_hard_negatives,
     triple_classification,
@@ -30,6 +31,7 @@ from .losses import (
 )
 from .negative_sampling import NegativeSampler
 from .query import Answer, top_objects, top_subjects
+from .ranking import GroupedFilter, RankingEngine, RankingStats, ScoreRowCache
 from .reciprocal import ReciprocalWrapper
 from .rescal import RESCAL
 from .rotate import RotatE
@@ -69,6 +71,11 @@ __all__ = [
     "fit",
     "RankingMetrics",
     "compute_ranks",
+    "compute_ranks_reference",
+    "RankingEngine",
+    "RankingStats",
+    "GroupedFilter",
+    "ScoreRowCache",
     "evaluate_ranking",
     "generate_hard_negatives",
     "triple_classification",

@@ -113,22 +113,22 @@ class KGEModel(Module):
     def score_po(self, r: np.ndarray, o: np.ndarray) -> Tensor:
         """``(B, N)`` scores of ``(e, r_i, o_i)`` for every entity ``e``.
 
-        Generic fallback: loops over all entities in chunks via
-        :meth:`score_spo`.  Override for a vectorised implementation.
+        Generic fallback: a single vectorised :meth:`score_spo` call over
+        the tiled ``(B · N,)`` id arrays — every entity as subject of
+        every query — reshaped to ``(B, N)``.  The output keeps whatever
+        dtype :meth:`score_spo` produces.  Override for an
+        implementation that avoids materialising the tiled batch.
         """
         r = np.asarray(r, dtype=np.int64)
         o = np.asarray(o, dtype=np.int64)
         batch = r.shape[0]
-        out = np.zeros((batch, self.num_entities))
-        all_entities = np.arange(self.num_entities, dtype=np.int64)
+        n = self.num_entities
+        all_entities = np.arange(n, dtype=np.int64)
         with no_grad():
-            for i in range(batch):
-                s_col = all_entities
-                scores = self.score_spo(
-                    s_col, np.full(self.num_entities, r[i]), np.full(self.num_entities, o[i])
-                )
-                out[i] = scores.data
-        return Tensor(out)
+            scores = self.score_spo(
+                np.tile(all_entities, batch), np.repeat(r, n), np.repeat(o, n)
+            )
+        return Tensor(scores.data.reshape(batch, n))
 
     # ------------------------------------------------------------------
     # Convenience numpy wrappers (inference paths)

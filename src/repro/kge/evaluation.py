@@ -18,10 +18,12 @@ from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kg.triples import TripleSet
 from .base import KGEModel
+from .ranking import RankingEngine
 
 __all__ = [
     "RankingMetrics",
     "compute_ranks",
+    "compute_ranks_reference",
     "evaluate_ranking",
     "generate_hard_negatives",
     "triple_classification",
@@ -67,8 +69,15 @@ def compute_ranks(
     filter_triples: TripleSet | None = None,
     side: str = "object",
     chunk_size: int = 512,
+    engine: "RankingEngine | None" = None,
 ) -> np.ndarray:
     """Realistic (tie-averaged) ranks of true entities among corruptions.
+
+    Served by the query-deduplicated :class:`~repro.kge.ranking.RankingEngine`
+    — candidates sharing a ``(s, r)`` / ``(r, o)`` query are ranked against
+    a single 1-vs-all score row, which produces bit-identical ranks to
+    :func:`compute_ranks_reference` while scoring at most one row per
+    *unique* query.
 
     Parameters
     ----------
@@ -84,7 +93,32 @@ def compute_ranks(
         ``"object"`` replaces the object slot (the paper's protocol);
         ``"subject"`` replaces the subject slot.
     chunk_size:
-        Number of queries scored per vectorised batch.
+        Number of unique queries scored per vectorised batch.
+    engine:
+        A shared :class:`RankingEngine` (score cache, thread pool,
+        instrumentation); a throwaway single-threaded engine is created
+        when omitted.
+    """
+    if engine is None:
+        engine = RankingEngine(chunk_size=chunk_size)
+    with no_grad():
+        return engine.compute_ranks(
+            model, triples, filter_triples=filter_triples, side=side
+        )
+
+
+def compute_ranks_reference(
+    model: KGEModel,
+    triples: np.ndarray,
+    filter_triples: TripleSet | None = None,
+    side: str = "object",
+    chunk_size: int = 512,
+) -> np.ndarray:
+    """The legacy chunked ranking path: one score row **per candidate**.
+
+    Kept as the reference implementation the equivalence suite checks
+    :class:`~repro.kge.ranking.RankingEngine` against; prefer
+    :func:`compute_ranks` everywhere else.
     """
     if side not in ("object", "subject"):
         raise ValueError(f"side must be 'object' or 'subject', got {side!r}")
@@ -169,29 +203,45 @@ def generate_hard_negatives(
     same relation's observed range, so the corruption is plausible on
     type grounds; corruptions that are actually true anywhere in the
     graph are resampled.
+
+    Resampling is round-based and batched: each round draws one candidate
+    per still-unresolved triple (grouped by relation so every group is a
+    single vectorised draw) and rejects candidates that equal the true
+    object or are known true, up to ``max_resample_rounds`` rounds.  The
+    output is fully determined by ``seed`` — relation groups are visited
+    in sorted order — though the draw sequence differs from the retired
+    per-triple loop, so negatives are not bit-identical across versions.
     """
     rng = np.random.default_rng(seed)
     triples = np.asarray(triples, dtype=np.int64)
     known = graph.all_triples()
-    ranges = {
-        int(r): np.unique(graph.train.by_relation(int(r))[:, 2])
-        for r in graph.train.unique_relations()
-    }
+    fallback_pool = np.arange(graph.num_entities, dtype=np.int64)
+    pools: dict[int, np.ndarray] = {}
+    for r in graph.train.unique_relations():
+        pool = np.unique(graph.train.by_relation(int(r))[:, 2])
+        pools[int(r)] = pool if pool.size >= 2 else fallback_pool
+
     negatives = triples.copy()
-    for i, (s, r, o) in enumerate(triples):
-        pool = ranges.get(int(r))
-        if pool is None or pool.size < 2:
-            pool = np.arange(graph.num_entities)
-        for _ in range(max_resample_rounds):
-            candidate = int(rng.choice(pool))
-            if candidate == o:
-                continue
-            if (int(s), int(r), candidate) not in known:
-                negatives[i, 2] = candidate
-                break
-        else:
-            # Fall back to a uniform corruption if the range is saturated.
-            negatives[i, 2] = int(rng.integers(0, graph.num_entities))
+    unresolved = np.arange(len(triples))
+    for _ in range(max_resample_rounds):
+        if unresolved.size == 0:
+            break
+        rel_of = triples[unresolved, 1]
+        draws = np.empty(len(unresolved), dtype=np.int64)
+        for rel in np.unique(rel_of):
+            mask = rel_of == rel
+            pool = pools.get(int(rel), fallback_pool)
+            draws[mask] = pool[rng.integers(0, len(pool), size=int(mask.sum()))]
+        accepted = draws != triples[unresolved, 2]
+        proposals = np.stack([triples[unresolved, 0], rel_of, draws], axis=1)
+        accepted &= ~known.contains(proposals)
+        negatives[unresolved[accepted], 2] = draws[accepted]
+        unresolved = unresolved[~accepted]
+    if unresolved.size:
+        # Fall back to a uniform corruption if the range is saturated.
+        negatives[unresolved, 2] = rng.integers(
+            0, graph.num_entities, size=len(unresolved)
+        )
     return negatives
 
 

@@ -29,6 +29,7 @@ _SCOPED_MODULES = (
     "repro.kge.evaluation",
     "repro.kge.query",
     "repro.kge.diagnostics",
+    "repro.kge.ranking",
 )
 
 #: Scoring entry points: the model interface, the ranking protocol, and

@@ -79,6 +79,14 @@ class TestInvariants:
                     "efficiency_facts_per_hour"):
             assert key in summary
 
+    def test_summary_includes_ranking_engine_counters(self, result):
+        summary = result.summary()
+        for key in ("unique_queries", "rows_scored", "rows_reused",
+                    "cache_hits", "score_seconds", "filter_seconds"):
+            assert key in summary
+        assert summary["rows_scored"] <= summary["unique_queries"]
+        assert summary["rows_scored"] < result.candidates_generated
+
     def test_top_facts_sorted(self, result):
         top = result.top_facts(limit=10)
         assert len(top) <= 10
@@ -230,6 +238,53 @@ class TestRuleFilteredDiscovery:
             rule_filter=RuleFilter(tiny_graph.train), **kwargs,
         )
         assert pruned.candidates_generated <= plain.candidates_generated
+
+
+class TestRankingEngineWiring:
+    def test_engine_config_does_not_change_results(
+        self, trained_distmult, tiny_graph
+    ):
+        """Cache and thread-pool settings are pure optimisations: same
+        seed ⇒ same facts and ranks regardless of engine configuration."""
+        from repro.kge import RankingEngine
+
+        kwargs = dict(
+            strategy="entity_frequency", top_n=15, max_candidates=100, seed=0
+        )
+        plain = discover_facts(trained_distmult, tiny_graph, **kwargs)
+        cached = discover_facts(
+            trained_distmult, tiny_graph, cache_size=64, **kwargs
+        )
+        threaded = discover_facts(
+            trained_distmult, tiny_graph, workers=4, **kwargs
+        )
+        shared = discover_facts(
+            trained_distmult,
+            tiny_graph,
+            engine=RankingEngine(cache_size=32, workers=2),
+            **kwargs,
+        )
+        for other in (cached, threaded, shared):
+            np.testing.assert_array_equal(plain.facts, other.facts)
+            np.testing.assert_array_equal(plain.ranks, other.ranks)
+
+    def test_shared_engine_reports_per_run_deltas(
+        self, trained_distmult, tiny_graph
+    ):
+        from repro.kge import RankingEngine
+
+        engine = RankingEngine(cache_size=64)
+        kwargs = dict(
+            strategy="entity_frequency", top_n=15, max_candidates=100, seed=0
+        )
+        first = discover_facts(trained_distmult, tiny_graph, engine=engine, **kwargs)
+        second = discover_facts(trained_distmult, tiny_graph, engine=engine, **kwargs)
+        # Counters in each result cover only that run, not the engine's lifetime.
+        assert first.ranking_stats["candidates_ranked"] == first.candidates_generated
+        assert second.ranking_stats["candidates_ranked"] == second.candidates_generated
+        # The second identical run is served from the shared score cache.
+        assert second.ranking_stats["cache_hits"] > 0
+        assert second.ranking_stats["rows_scored"] < first.ranking_stats["rows_scored"]
 
 
 class TestEdgeCases:

@@ -68,6 +68,31 @@ class TestModelCache:
         model = get_trained_model("wn18rr-like", "distmult")
         assert model.entity_matrix().shape[0] > 0
 
+    def test_corrupt_disk_cache_recovers(self, tmp_path, monkeypatch):
+        """A truncated .npz (not a valid zip) triggers retraining and is
+        rewritten, not propagated as BadZipFile."""
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        a = get_trained_model("wn18rr-like", "distmult")
+        path = tmp_path / "wn18rr-like__distmult.npz"
+        path.write_bytes(path.read_bytes()[:100])
+        clear_model_cache()
+        b = get_trained_model("wn18rr-like", "distmult")
+        np.testing.assert_array_equal(a.entity_matrix(), b.entity_matrix())
+        # The rewritten cache file is loadable again.
+        np.load(path).close()
+
+    def test_trained_model_is_in_eval_mode(self, tmp_path, monkeypatch):
+        """Both the retrain and the cache-load paths return eval()-mode
+        models — batched ConvE scoring depends on it (batch norm)."""
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        fresh = get_trained_model("wn18rr-like", "distmult")
+        assert not fresh.training
+        clear_model_cache()
+        cached = get_trained_model("wn18rr-like", "distmult")
+        assert not cached.training
+
 
 class TestRunMatrix:
     @pytest.fixture(scope="class")

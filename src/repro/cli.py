@@ -13,8 +13,15 @@ Commands
 * ``discover`` — run fact discovery with a checkpointed model;
 * ``compare`` — compare sampling strategies on one dataset/model;
 * ``grid`` — sweep the ``top_n`` × ``max_candidates`` hyperparameter grid;
+* ``journal`` — summarise a campaign run-journal (completed / failed /
+  in-flight cells with failure fingerprints);
 * ``lint`` — run the domain-aware static analyser (``repro.lint``) over
   the codebase; all arguments are forwarded to ``repro-lint``.
+
+Long campaigns are resumable: ``repro reproduce --journal run.jsonl``
+journals every matrix cell, and re-running the same command after a
+crash skips completed cells and re-attempts failed ones (see
+:mod:`repro.resilience`).
 
 Any ``DATASET`` argument accepts either a registry name
 (``fb15k237-like``, …) or a path to a directory of
@@ -106,6 +113,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     print("running the dataset × model × strategy matrix "
           "(first run trains the models; later runs reuse .model_cache/)...")
+    if args.journal:
+        print(f"  journalling cells to {args.journal} (resumable; rerun the "
+              "same command after a crash to continue)")
     rows = run_matrix(
         datasets=datasets or PAPER_DATASETS,
         models=PAPER_MODELS if not args.quick else ("distmult", "transe"),
@@ -113,7 +123,17 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         top_n=args.top_n,
         max_candidates=args.max_candidates,
         seed=args.seed,
+        journal_path=args.journal,
+        max_cell_attempts=args.max_cell_attempts,
+        on_error="degrade" if args.journal else "raise",
     )
+    failed = [r for r in rows if r.status != "ok"]
+    if failed:
+        print(f"  {len(failed)} cell(s) failed and were degraded to "
+              "partial rows:")
+        for row in failed:
+            print(f"    {row.dataset}/{row.model}/{row.strategy}: {row.error}")
+        rows = [r for r in rows if r.status == "ok"]
 
     def write(name: str, text: str) -> None:
         (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
@@ -249,6 +269,8 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from .resilience import GuardConfig
+
     graph = _load_graph(args.dataset)
     job = args.job
     if job == "auto":
@@ -264,8 +286,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         verbose=args.verbose,
     )
+    guard = (
+        None
+        if args.guard == "off"
+        else GuardConfig(policy=args.guard, max_epoch_retries=args.max_epoch_retries)
+    )
     print(f"training {args.model} (dim={args.dim}) on {graph.name} with {job}...")
-    result = fit(graph, ModelConfig(args.model, dim=args.dim, seed=args.seed), config)
+    result = fit(
+        graph, ModelConfig(args.model, dim=args.dim, seed=args.seed), config,
+        guard=guard,
+    )
+    if result.guard_report is not None and not result.guard_report.clean:
+        summary = result.guard_report.summary()
+        print(f"guard: {summary['guard_events']} event(s), "
+              f"{summary['guard_epoch_retries']} epoch retr(ies), "
+              f"{summary['guard_rollbacks']} rollback(s)")
     print(f"final loss: {result.losses[-1]:.4f} after {result.epochs_run} epochs")
     metrics = evaluate_ranking(result.model, graph, split="valid")
     print(f"validation MRR: {metrics.mrr:.4f}, Hits@10: {metrics.hits[10]:.4f}")
@@ -383,6 +418,49 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from .experiments import CampaignState
+    from .resilience import RunJournal
+
+    journal = RunJournal(args.journal)
+    if not journal.path.is_file():
+        raise SystemExit(f"error: no journal at {args.journal}")
+    view = journal.read()
+    state = CampaignState.from_journal(journal)
+    in_flight = sorted(
+        key
+        for key, count in state.attempts.items()
+        if key not in state.completed and count > 0
+    )
+    print(
+        format_table(
+            [
+                {"property": "records", "value": len(view.records)},
+                {"property": "torn/corrupt lines", "value": view.corrupt_lines},
+                {"property": "cells completed", "value": len(state.completed)},
+                {"property": "cells started, unfinished", "value": len(in_flight)},
+            ],
+            title=f"Campaign journal: {args.journal}",
+        )
+    )
+    if in_flight:
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "cell": key,
+                        "attempts": state.attempts[key],
+                        "last_error": state.last_error.get(key, "(interrupted)"),
+                    }
+                    for key in in_flight
+                ],
+                title="Unfinished cells (re-attempted on resume)",
+            )
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import main as lint_main
 
@@ -414,6 +492,13 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--top-n", type=int, default=50)
     reproduce.add_argument("--max-candidates", type=int, default=500)
     reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.add_argument("--journal", default=None,
+                           help="JSONL run-journal path; makes the campaign "
+                                "resumable and degrades failed cells instead "
+                                "of aborting")
+    reproduce.add_argument("--max-cell-attempts", type=int, default=3,
+                           help="times a cell may be started (crashes count) "
+                                "before it is reported as failed")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     analyze = sub.add_parser("analyze", help="structural report of a dataset")
@@ -453,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--label-smoothing", type=float, default=0.1)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--verbose", action="store_true")
+    train.add_argument("--guard", choices=["off", "halt", "rollback", "retry"],
+                       default="retry",
+                       help="divergence-guard policy (default: retry the "
+                            "epoch with re-seeded negatives)")
+    train.add_argument("--max-epoch-retries", type=int, default=2)
     train.add_argument("-o", "--output", default="model.npz")
     train.set_defaults(func=_cmd_train)
 
@@ -500,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[50, 100, 200, 300, 400, 500])
     grid.add_argument("--seed", type=int, default=0)
     grid.set_defaults(func=_cmd_grid)
+
+    journal = sub.add_parser(
+        "journal", help="summarise a campaign run-journal"
+    )
+    journal.add_argument("journal", help="path to a JSONL run-journal")
+    journal.set_defaults(func=_cmd_journal)
 
     lint = sub.add_parser(
         "lint",

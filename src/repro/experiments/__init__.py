@@ -18,6 +18,7 @@ from .runner import (
     PAPER_DATASETS,
     PAPER_MODELS,
     PAPER_STRATEGIES,
+    CampaignState,
     MatrixRow,
     clear_model_cache,
     default_model_config,
@@ -44,6 +45,7 @@ __all__ = [
     "SignTestResult",
     "paired_sign_test",
     "MatrixRow",
+    "CampaignState",
     "run_matrix",
     "get_trained_model",
     "clear_model_cache",

@@ -8,6 +8,19 @@ This module owns:
   files can share training runs;
 * :func:`run_matrix`, which executes discovery for every combination and
   returns flat result rows — the data behind Figures 2, 4 and 6.
+
+Fault tolerance (see :mod:`repro.resilience`):
+
+* disk-cache checkpoints are written atomically with content checksums;
+  a corrupt archive is detected at load time, quarantined to a
+  ``*.corrupt`` sibling, and the model is retrained;
+* training runs inside :func:`get_trained_model` are guarded (epoch
+  retry on divergence) and wrapped in the shared retry executor;
+* :func:`run_matrix` can journal every cell to a crash-safe JSONL file:
+  a restarted campaign skips completed cells (replaying their recorded
+  rows bit-identically), re-attempts failed cells up to a budget, and —
+  with ``on_error="degrade"`` — emits partial failure rows instead of
+  aborting the whole campaign.
 """
 
 from __future__ import annotations
@@ -15,19 +28,28 @@ from __future__ import annotations
 import logging
 import os
 import zipfile
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-
-import numpy as np
 
 from ..discovery.discover import DiscoveryResult, discover_facts
 from ..kg.datasets import load_dataset
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel, create_model
+from ..kge.checkpoint import load_model, save_model
 from ..kge.config import ModelConfig, TrainConfig
 from ..kge.evaluation import evaluate_ranking
 from ..kge.training import train_model
+from ..resilience import (
+    CheckpointCorruptError,
+    GuardConfig,
+    RetryPolicy,
+    RunJournal,
+    error_fingerprint,
+    spawn_seed,
+    with_retries,
+)
+from ..resilience import faults
 
 logger = logging.getLogger(__name__)
 
@@ -40,6 +62,7 @@ __all__ = [
     "get_trained_model",
     "clear_model_cache",
     "MatrixRow",
+    "CampaignState",
     "run_matrix",
 ]
 
@@ -109,6 +132,14 @@ _MODEL_DEFAULTS: dict[str, tuple[ModelConfig, TrainConfig]] = {
     ),
 }
 
+#: Guard applied to every cache-building training run: retry a diverged
+#: epoch with spawned RNG streams, then halt with a typed error that the
+#: outer retry executor turns into a full re-train under a derived seed.
+_DEFAULT_GUARD = GuardConfig(policy="retry")
+
+#: Whole-training retry budget inside :func:`get_trained_model`.
+_DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
 
 def default_model_config(model_name: str) -> ModelConfig:
     """The tuned model configuration used by the experiment matrix."""
@@ -139,6 +170,26 @@ def clear_model_cache(disk: bool = False) -> None:
         if directory.is_dir():
             for path in directory.glob("*.npz"):
                 path.unlink()
+            for path in directory.glob("*.npz.corrupt"):
+                path.unlink()
+
+
+def _quarantine(path: Path) -> Path:
+    """Move a corrupt checkpoint aside (``*.npz`` → ``*.npz.corrupt``)."""
+    target = path.with_name(path.name + ".corrupt")
+    target.unlink(missing_ok=True)
+    path.rename(target)
+    return target
+
+
+def _compatible(model: KGEModel, config: ModelConfig, graph: KnowledgeGraph) -> bool:
+    """Does a cached model match the current tuned config and dataset?"""
+    return (
+        model.model_name == config.name
+        and model.dim == config.dim
+        and model.num_entities == graph.num_entities
+        and model.num_relations == graph.num_relations
+    )
 
 
 def get_trained_model(
@@ -146,11 +197,18 @@ def get_trained_model(
     model_name: str,
     use_disk_cache: bool = True,
     graph: KnowledgeGraph | None = None,
+    guard: GuardConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> KGEModel:
     """Return a trained model for a (dataset, model) pair, cached.
 
     The disk cache (``.model_cache/`` or ``$REPRO_MODEL_CACHE``) lets the
     per-figure benchmark files share one training run per configuration.
+    Cache archives carry content checksums: a corrupt one is quarantined
+    to a ``*.corrupt`` sibling and the model is retrained.  Training runs
+    under a divergence guard and the shared retry executor — a retried
+    attempt re-trains under a seed spawned from the base seed, so
+    recovery is deterministic without replaying the failing run.
     """
     key = (dataset_name, model_name)
     if key in _MODEL_CACHE:
@@ -159,47 +217,79 @@ def get_trained_model(
     if graph is None:
         graph = load_dataset(dataset_name)
     model_config = default_model_config(model_name)
-    model = create_model(
-        model_config.name,
-        num_entities=graph.num_entities,
-        num_relations=graph.num_relations,
-        dim=model_config.dim,
-        seed=model_config.seed,
-        **model_config.options,
-    )
 
     cache_path = _cache_dir() / f"{dataset_name}__{model_name}.npz"
     if use_disk_cache and cache_path.is_file():
         try:
-            stored = np.load(cache_path)
-            model.load_state_dict({k: stored[k] for k in stored.files})
-            model.eval()
+            model = load_model(cache_path)
+            if not _compatible(model, model_config, graph):
+                raise ValueError(
+                    f"cached model shape does not match the tuned config "
+                    f"for {model_name!r}"
+                )
+        except CheckpointCorruptError as error:
+            quarantined = _quarantine(cache_path)
+            logger.warning(
+                "corrupt disk cache for %s/%s quarantined to %s; retraining (%s)",
+                dataset_name, model_name, quarantined.name, error,
+            )
+        except (KeyError, ValueError, OSError, zipfile.BadZipFile) as error:
+            # Stale cache from an older config or format — retrain and
+            # overwrite it below.
+            logger.warning(
+                "unusable disk cache for %s/%s; retraining (%s)",
+                dataset_name, model_name, error,
+            )
+            cache_path.unlink(missing_ok=True)
+        else:
             _MODEL_CACHE[key] = model
             logger.info("loaded %s/%s from disk cache", dataset_name, model_name)
             return model
-        except (KeyError, ValueError, OSError, zipfile.BadZipFile):
-            # Stale cache from an older config, or a truncated/corrupt
-            # archive — either way retrain and overwrite it below.
-            logger.warning(
-                "unusable disk cache for %s/%s; retraining",
-                dataset_name,
-                model_name,
-            )
-            cache_path.unlink()
 
-    logger.info("training %s on %s", model_name, dataset_name)
-    train_model(model, graph, default_train_config(model_name))
+    train_config = default_train_config(model_name)
+
+    def train_attempt(attempt: int) -> KGEModel:
+        # Attempt 0 reproduces the unretried run bit for bit; later
+        # attempts re-train under seeds spawned from the base seed.
+        attempt_config = (
+            train_config
+            if attempt == 0
+            else train_config.with_(seed=spawn_seed(train_config.seed, attempt))
+        )
+        fresh = create_model(
+            model_config.name,
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            dim=model_config.dim,
+            seed=model_config.seed,
+            **model_config.options,
+        )
+        logger.info(
+            "training %s on %s (attempt %d)", model_name, dataset_name, attempt + 1
+        )
+        train_model(fresh, graph, attempt_config, guard=guard or _DEFAULT_GUARD)
+        return fresh
+
+    model = with_retries(
+        train_attempt,
+        retry_policy or _DEFAULT_RETRY,
+        label=f"get_trained_model:{dataset_name}/{model_name}",
+    )
     model.eval()  # match the cache-load path (batch norm / dropout)
     if use_disk_cache:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(cache_path, **model.state_dict())
+        save_model(model, cache_path)
     _MODEL_CACHE[key] = model
     return model
 
 
 @dataclass
 class MatrixRow:
-    """One cell of the experiment matrix with its discovery metrics."""
+    """One cell of the experiment matrix with its discovery metrics.
+
+    ``status`` is ``"ok"`` for a completed cell and ``"failed"`` for a
+    cell whose retry budget ran out in a degrading campaign; ``error``
+    then carries the failure fingerprint.
+    """
 
     dataset: str
     model: str
@@ -210,6 +300,8 @@ class MatrixRow:
     weight_seconds: float
     efficiency_facts_per_hour: float
     test_mrr: float = float("nan")
+    status: str = "ok"
+    error: str = ""
 
     @classmethod
     def from_result(
@@ -231,6 +323,59 @@ class MatrixRow:
             test_mrr=test_mrr,
         )
 
+    @classmethod
+    def failed(cls, dataset: str, model: str, strategy: str, error: str) -> "MatrixRow":
+        nan = float("nan")
+        return cls(
+            dataset=dataset,
+            model=model,
+            strategy=strategy,
+            num_facts=0,
+            mrr=nan,
+            runtime_seconds=nan,
+            weight_seconds=nan,
+            efficiency_facts_per_hour=nan,
+            status="failed",
+            error=error,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; floats round-trip bit-exactly via ``repr``."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MatrixRow":
+        return cls(**data)
+
+
+@dataclass
+class CampaignState:
+    """What a run journal says about a campaign so far."""
+
+    completed: dict[str, dict]  # cell key -> recorded MatrixRow dict
+    attempts: dict[str, int]  # cell key -> started count (crashes included)
+    last_error: dict[str, str]  # cell key -> most recent failure fingerprint
+
+    @classmethod
+    def from_journal(cls, journal: RunJournal) -> "CampaignState":
+        completed: dict[str, dict] = {}
+        attempts: dict[str, int] = {}
+        last_error: dict[str, str] = {}
+        for record in journal.read().records:
+            key = record.get("cell", "")
+            event = record.get("event")
+            if event == "cell_started":
+                attempts[key] = attempts.get(key, 0) + 1
+            elif event == "cell_succeeded" and isinstance(record.get("row"), dict):
+                completed[key] = record["row"]
+            elif event == "cell_failed":
+                last_error[key] = str(record.get("error", ""))
+        return cls(completed=completed, attempts=attempts, last_error=last_error)
+
+
+def _cell_key(dataset: str, model: str, strategy: str) -> str:
+    return f"{dataset}/{model}/{strategy}"
+
 
 def run_matrix(
     datasets: tuple[str, ...] = PAPER_DATASETS,
@@ -241,6 +386,9 @@ def run_matrix(
     seed: int = 0,
     evaluate_models: bool = False,
     share_statistics: bool = False,
+    journal_path: Path | str | None = None,
+    max_cell_attempts: int = 3,
+    on_error: str = "raise",
 ) -> list[MatrixRow]:
     """Run discovery for every (dataset, model, strategy) combination.
 
@@ -248,30 +396,175 @@ def run_matrix(
     run so each strategy is charged its own weight-computation cost,
     exactly as in the paper's runtime measurements; pass ``True`` to
     amortise it when only fact quality matters.
+
+    With ``journal_path`` set, every cell is journalled to a crash-safe
+    JSONL file: restarting the same campaign skips completed cells and
+    replays their recorded rows bit-identically, while cells that
+    previously crashed or failed are re-attempted until they have been
+    started ``max_cell_attempts`` times.  ``on_error`` selects what a
+    cell failure does: ``"raise"`` (default) propagates it, aborting the
+    campaign (the journal preserves progress); ``"degrade"`` records it
+    and emits a partial :class:`MatrixRow` (``status="failed"`` with the
+    error fingerprint) once the attempt budget is spent.
     """
+    if on_error not in ("raise", "degrade"):
+        raise ValueError(f"on_error must be 'raise' or 'degrade', got {on_error!r}")
+    journal = RunJournal(journal_path) if journal_path is not None else None
+    state = (
+        CampaignState.from_journal(journal)
+        if journal is not None
+        else CampaignState(completed={}, attempts={}, last_error={})
+    )
+
     rows: list[MatrixRow] = []
     for dataset_name in datasets:
-        graph = load_dataset(dataset_name)
-        shared_stats = GraphStatistics(graph.train) if share_statistics else None
+        graph: KnowledgeGraph | None = None
+        shared_stats: GraphStatistics | None = None
+        test_mrr_cache: dict[str, float] = {}
         for model_name in models:
-            model = get_trained_model(dataset_name, model_name, graph=graph)
-            test_mrr = (
-                evaluate_ranking(model, graph, split="test").mrr
-                if evaluate_models
-                else float("nan")
-            )
             for strategy_name in strategies:
-                stats = shared_stats or GraphStatistics(graph.train)
-                result = discover_facts(
-                    model,
-                    graph,
-                    strategy=strategy_name,
-                    top_n=top_n,
-                    max_candidates=max_candidates,
-                    seed=seed,
-                    stats=stats,
+                key = _cell_key(dataset_name, model_name, strategy_name)
+                if key in state.completed:
+                    rows.append(MatrixRow.from_dict(state.completed[key]))
+                    continue
+                attempts = state.attempts.get(key, 0)
+                if attempts >= max_cell_attempts:
+                    rows.append(
+                        MatrixRow.failed(
+                            dataset_name,
+                            model_name,
+                            strategy_name,
+                            state.last_error.get(key, "interrupted"),
+                        )
+                    )
+                    continue
+
+                if graph is None:
+                    graph = load_dataset(dataset_name)
+                    if share_statistics:
+                        shared_stats = GraphStatistics(graph.train)
+                if journal is not None:
+                    journal.append("cell_started", cell=key, attempt=attempts + 1)
+                    state.attempts[key] = attempts + 1
+                try:
+                    faults.trigger("matrix_cell", key)
+                    model = get_trained_model(dataset_name, model_name, graph=graph)
+                    if evaluate_models and model_name not in test_mrr_cache:
+                        test_mrr_cache[model_name] = evaluate_ranking(
+                            model, graph, split="test"
+                        ).mrr
+                    test_mrr = (
+                        test_mrr_cache[model_name]
+                        if evaluate_models
+                        else float("nan")
+                    )
+                    stats = shared_stats or GraphStatistics(graph.train)
+                    result = discover_facts(
+                        model,
+                        graph,
+                        strategy=strategy_name,
+                        top_n=top_n,
+                        max_candidates=max_candidates,
+                        seed=seed,
+                        stats=stats,
+                    )
+                except Exception as error:
+                    fingerprint = error_fingerprint(error)
+                    if journal is not None:
+                        journal.append(
+                            "cell_failed",
+                            cell=key,
+                            attempt=state.attempts.get(key, attempts + 1),
+                            error=fingerprint,
+                        )
+                        state.last_error[key] = fingerprint
+                    if on_error == "raise":
+                        raise
+                    logger.warning("cell %s failed: %s", key, fingerprint)
+                    if state.attempts.get(key, attempts + 1) >= max_cell_attempts:
+                        rows.append(
+                            MatrixRow.failed(
+                                dataset_name, model_name, strategy_name, fingerprint
+                            )
+                        )
+                    else:
+                        rows.append(
+                            _rerun_cell(
+                                journal,
+                                state,
+                                dataset_name,
+                                model_name,
+                                strategy_name,
+                                graph,
+                                shared_stats,
+                                top_n,
+                                max_candidates,
+                                seed,
+                                max_cell_attempts,
+                            )
+                        )
+                    continue
+
+                row = MatrixRow.from_result(
+                    dataset_name, model_name, result, test_mrr
                 )
-                rows.append(
-                    MatrixRow.from_result(dataset_name, model_name, result, test_mrr)
-                )
+                if journal is not None:
+                    journal.append("cell_succeeded", cell=key, row=row.to_dict())
+                    state.completed[key] = row.to_dict()
+                rows.append(row)
     return rows
+
+
+def _rerun_cell(
+    journal: RunJournal | None,
+    state: CampaignState,
+    dataset_name: str,
+    model_name: str,
+    strategy_name: str,
+    graph: KnowledgeGraph,
+    shared_stats: GraphStatistics | None,
+    top_n: int,
+    max_candidates: int,
+    seed: int,
+    max_cell_attempts: int,
+) -> MatrixRow:
+    """Degrading-mode in-process re-attempts of one failed cell."""
+    key = _cell_key(dataset_name, model_name, strategy_name)
+    while state.attempts.get(key, 0) < max_cell_attempts:
+        attempt = state.attempts.get(key, 0) + 1
+        if journal is not None:
+            journal.append("cell_started", cell=key, attempt=attempt)
+        state.attempts[key] = attempt
+        try:
+            faults.trigger("matrix_cell", key)
+            model = get_trained_model(dataset_name, model_name, graph=graph)
+            stats = shared_stats or GraphStatistics(graph.train)
+            result = discover_facts(
+                model,
+                graph,
+                strategy=strategy_name,
+                top_n=top_n,
+                max_candidates=max_candidates,
+                seed=seed,
+                stats=stats,
+            )
+        except Exception as error:
+            fingerprint = error_fingerprint(error)
+            state.last_error[key] = fingerprint
+            if journal is not None:
+                journal.append(
+                    "cell_failed", cell=key, attempt=attempt, error=fingerprint
+                )
+            logger.warning(
+                "cell %s failed on attempt %d: %s", key, attempt, fingerprint
+            )
+            continue
+        row = MatrixRow.from_result(dataset_name, model_name, result)
+        if journal is not None:
+            journal.append("cell_succeeded", cell=key, row=row.to_dict())
+            state.completed[key] = row.to_dict()
+        return row
+    return MatrixRow.failed(
+        dataset_name, model_name, strategy_name,
+        state.last_error.get(key, "interrupted"),
+    )

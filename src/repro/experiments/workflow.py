@@ -21,6 +21,7 @@ from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel
 from ..kge.evaluation import RankingMetrics, evaluate_ranking
 from ..kge.training import fit
+from ..resilience import GuardConfig, RetryPolicy
 from .runner import default_model_config, default_train_config, get_trained_model
 
 __all__ = ["WorkflowReport", "FactDiscoveryWorkflow"]
@@ -68,6 +69,13 @@ class FactDiscoveryWorkflow:
     use_cached_model:
         Reuse the shared trained-model cache; set ``False`` to train a
         fresh model with the default (or provided) configs.
+    guard:
+        Divergence-guard policy for the training step (see
+        :class:`repro.resilience.GuardConfig`).  ``None`` keeps the
+        runner's default (epoch retry with spawned RNG streams).
+    retry_policy:
+        Whole-training retry budget applied when the cached-model path
+        has to (re)train (see :class:`repro.resilience.RetryPolicy`).
     """
 
     def __init__(
@@ -81,6 +89,8 @@ class FactDiscoveryWorkflow:
         use_cached_model: bool = True,
         model_config=None,
         train_config=None,
+        guard: GuardConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.dataset = dataset
         self.model_name = model
@@ -91,14 +101,24 @@ class FactDiscoveryWorkflow:
         self.use_cached_model = use_cached_model
         self.model_config = model_config or default_model_config(model)
         self.train_config = train_config or default_train_config(model)
+        self.guard = guard
+        self.retry_policy = retry_policy
 
     def run(self) -> WorkflowReport:
         """Execute all workflow steps and return the bundled report."""
         graph = load_dataset(self.dataset)
         if self.use_cached_model:
-            model = get_trained_model(self.dataset, self.model_name, graph=graph)
+            model = get_trained_model(
+                self.dataset,
+                self.model_name,
+                graph=graph,
+                guard=self.guard,
+                retry_policy=self.retry_policy,
+            )
         else:
-            model = fit(graph, self.model_config, self.train_config).model
+            model = fit(
+                graph, self.model_config, self.train_config, guard=self.guard
+            ).model
 
         link_prediction = evaluate_ranking(model, graph, split="test")
         discovery = discover_facts(

@@ -3,15 +3,24 @@
 The archive stores the parameter arrays plus a JSON header describing how
 to rebuild the model (registry name, sizes, seed and model-specific
 constructor options from :meth:`KGEModel.config_options`).
+
+Durability: saves are atomic (write-temp → fsync → rename via
+:mod:`repro.resilience.atomic`), and the header embeds a sha256 over the
+parameter content.  :func:`load_model` re-verifies that digest and raises
+:class:`~repro.resilience.CheckpointCorruptError` on any mismatch or
+unreadable archive, so a truncated or bit-flipped checkpoint is detected
+at read time instead of producing garbage embeddings.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from ..resilience import CheckpointCorruptError, atomic_savez, digest_arrays
 from .base import KGEModel, create_model
 
 __all__ = ["save_model", "load_model"]
@@ -23,8 +32,13 @@ def save_model(model: KGEModel, path: Path | str) -> None:
     """Serialise a model (architecture + parameters) to ``path``.
 
     The file is a standard ``.npz`` archive and can be inspected with
-    ``numpy.load``.
+    ``numpy.load``.  The write is atomic: readers never observe a
+    partially-written checkpoint, and a crash mid-save leaves any
+    previous checkpoint at ``path`` intact.
     """
+    payload = model.state_dict()
+    if _HEADER_KEY in payload:
+        raise ValueError(f"parameter name collides with header key {_HEADER_KEY!r}")
     header = {
         "model": model.model_name,
         "num_entities": model.num_entities,
@@ -32,24 +46,57 @@ def save_model(model: KGEModel, path: Path | str) -> None:
         "dim": model.dim,
         "seed": model.seed,
         "options": model.config_options(),
+        "checksum": digest_arrays(payload),
     }
-    payload = model.state_dict()
-    if _HEADER_KEY in payload:
-        raise ValueError(f"parameter name collides with header key {_HEADER_KEY!r}")
     payload[_HEADER_KEY] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
+    atomic_savez(Path(path), **payload)
+
+
+def load_model(path: Path | str, verify: bool = True) -> KGEModel:
+    """Rebuild a model saved with :func:`save_model` (evaluation mode).
+
+    Raises :class:`~repro.resilience.CheckpointCorruptError` when the
+    archive is unreadable (truncated zip, torn write) or when the stored
+    parameter content no longer matches the header checksum; plain
+    :class:`ValueError` when the file is a readable ``.npz`` that simply
+    is not a repro checkpoint.  ``verify=False`` skips the digest check
+    (trusted input on a hot path).
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    try:
+        with np.load(path) as stored:
+            if _HEADER_KEY not in stored.files:
+                raise ValueError(
+                    f"{path} is not a repro model checkpoint (missing header)"
+                )
+            # Materialise everything inside the try: zip CRC errors
+            # surface lazily, on member access.
+            header_bytes = bytes(stored[_HEADER_KEY].tobytes())
+            state = {key: stored[key] for key in stored.files if key != _HEADER_KEY}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError) as error:
+        raise CheckpointCorruptError(
+            f"unreadable checkpoint {path}: {error}"
+        ) from error
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint header in {path}: {error}"
+        ) from error
 
+    expected = header.get("checksum")  # absent in pre-checksum checkpoints
+    if verify and expected is not None:
+        actual = digest_arrays(state)
+        if actual != expected:
+            raise CheckpointCorruptError(
+                f"checksum mismatch in {path}: header says {expected[:12]}…, "
+                f"content hashes to {actual[:12]}…"
+            )
 
-def load_model(path: Path | str) -> KGEModel:
-    """Rebuild a model saved with :func:`save_model` (evaluation mode)."""
-    stored = np.load(path)
-    if _HEADER_KEY not in stored.files:
-        raise ValueError(f"{path} is not a repro model checkpoint (missing header)")
-    header = json.loads(bytes(stored[_HEADER_KEY].tobytes()).decode("utf-8"))
     model = create_model(
         header["model"],
         num_entities=header["num_entities"],
@@ -58,7 +105,6 @@ def load_model(path: Path | str) -> KGEModel:
         seed=header["seed"],
         **header["options"],
     )
-    state = {key: stored[key] for key in stored.files if key != _HEADER_KEY}
     model.load_state_dict(state)
     model.eval()
     return model

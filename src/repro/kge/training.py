@@ -12,6 +12,15 @@ Three regimes, selected by :class:`~repro.kge.config.TrainConfig.job`:
 
 All optimisation uses the optimizers from :mod:`repro.autograd.optim`;
 the paper trains everything with Adam.
+
+Fault tolerance: passing a :class:`~repro.resilience.GuardConfig` arms
+per-epoch divergence guards (NaN/Inf loss, loss explosion,
+gradient-norm and parameter sanity).  Depending on the policy a tripped
+guard halts with a typed :class:`~repro.resilience.TrainingDivergedError`,
+rolls back to the last healthy in-memory snapshot, or retries the epoch
+with RNG streams spawned from the base seed — deterministic, but not a
+replay of the identical failing draw.  On fault-free runs the guard only
+observes, so guarded and unguarded training produce identical models.
 """
 
 from __future__ import annotations
@@ -23,6 +32,14 @@ import numpy as np
 
 from ..autograd import Adagrad, Adam, Optimizer, SGD
 from ..kg.graph import KnowledgeGraph
+from ..resilience import (
+    GuardConfig,
+    GuardReport,
+    TrainingDivergedError,
+    TrainingGuard,
+    spawn_stream,
+)
+from ..resilience import faults
 from .base import KGEModel, create_model
 from .config import ModelConfig, TrainConfig
 from .evaluation import evaluate_ranking
@@ -48,6 +65,12 @@ class TrainingResult:
     valid_mrr_history: list[float] = field(default_factory=list)
     best_valid_mrr: float = 0.0
     epochs_run: int = 0
+    #: Guard observations (events, per-epoch gradient norms, rollback and
+    #: retry counters); ``None`` when training ran unguarded.
+    guard_report: GuardReport | None = None
+    #: True when the rollback policy restored the last healthy snapshot
+    #: and stopped early.
+    rolled_back: bool = False
 
 
 def _make_optimizer(model: KGEModel, config: TrainConfig) -> Optimizer:
@@ -185,16 +208,22 @@ def _one_vs_all_epoch(
 
 
 def train_model(
-    model: KGEModel, graph: KnowledgeGraph, config: TrainConfig
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    config: TrainConfig,
+    guard: GuardConfig | None = None,
 ) -> TrainingResult:
     """Train ``model`` on ``graph.train`` according to ``config``.
 
     Supports optional periodic validation (``eval_every``) with early
-    stopping on validation MRR (``early_stopping_patience``).
+    stopping on validation MRR (``early_stopping_patience``), and
+    optional per-epoch divergence guards (``guard``; see the module
+    docstring for the halt / rollback / retry policies).
     """
     rng = np.random.default_rng(config.seed)
     result = TrainingResult(model=model)
 
+    sampler: NegativeSampler | None = None
     if config.job == "negative_sampling":
         sampler = NegativeSampler(
             graph.train,
@@ -212,36 +241,99 @@ def train_model(
             )
         else:
             loss_fn = create_loss(config.loss, label_smoothing=config.label_smoothing)
-        run_epoch = lambda: _negative_sampling_epoch(  # noqa: E731
-            model, graph, sampler, loss_fn, optimizer, config, rng
-        )
+
+        def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
+            return _negative_sampling_epoch(
+                model, graph, epoch_sampler, loss_fn, optimizer, config, epoch_rng
+            )
+
     elif config.job == "kvsall":
         if config.loss != "bce":
             raise ValueError("kvsall training requires the 'bce' loss")
         queries, answers = _kvsall_queries(graph)
         loss_fn = BCEWithLogitsLoss(label_smoothing=config.label_smoothing)
-        run_epoch = lambda: _kvsall_epoch(  # noqa: E731
-            model, queries, answers, loss_fn, optimizer, config, rng
-        )
+
+        def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
+            return _kvsall_epoch(
+                model, queries, answers, loss_fn, optimizer, config, epoch_rng
+            )
+
     else:  # 1vsall
         if config.loss != "softmax":
             raise ValueError("1vsall training requires the 'softmax' loss")
         from .losses import SoftmaxCrossEntropyLoss
 
         loss_fn = SoftmaxCrossEntropyLoss()
-        run_epoch = lambda: _one_vs_all_epoch(  # noqa: E731
-            model, graph, loss_fn, optimizer, config, rng
-        )
+
+        def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
+            return _one_vs_all_epoch(
+                model, graph, loss_fn, optimizer, config, epoch_rng
+            )
 
     optimizer = _make_optimizer(model, config)
+    guard_state: TrainingGuard | None = None
+    if guard is not None and guard.policy != "off":
+        guard_state = TrainingGuard(guard)
+        result.guard_report = guard_state.report
 
     best_mrr = 0.0
     epochs_since_best = 0
     model.train()
-    for epoch in range(config.epochs):
-        mean_loss = run_epoch()
+    epoch = 0
+    attempt = 0
+    while epoch < config.epochs:
+        faults.trigger("train_epoch", epoch)
+        if guard_state is not None and guard_state.wants_snapshots and attempt == 0:
+            # The state *entering* the epoch is the last-known-good state.
+            guard_state.snapshot(model, optimizer)
+        if attempt == 0:
+            epoch_rng, epoch_sampler = rng, sampler
+        else:
+            epoch_rng = spawn_stream(config.seed, epoch, attempt)
+            epoch_sampler = (
+                sampler.reseeded(spawn_stream(config.seed, epoch, attempt, 1))
+                if sampler is not None
+                else None
+            )
+        mean_loss = run_epoch(epoch_rng, epoch_sampler)
+
+        event = (
+            guard_state.inspect(epoch, attempt, mean_loss, model, optimizer)
+            if guard_state is not None
+            else None
+        )
+        if event is not None:
+            policy = guard_state.config.policy
+            if policy == "retry" and attempt < guard_state.config.max_epoch_retries:
+                guard_state.restore(model, optimizer)
+                guard_state.mark(event, "retried")
+                logger.warning(
+                    "epoch %d %s (%s); retrying with spawned streams (attempt %d)",
+                    epoch + 1, event.kind, event.detail, attempt + 1,
+                )
+                attempt += 1
+                continue
+            if policy == "rollback":
+                guard_state.restore(model, optimizer)
+                guard_state.mark(event, "rolled_back")
+                result.rolled_back = True
+                logger.warning(
+                    "epoch %d %s (%s); rolled back to last healthy state "
+                    "after %d clean epochs",
+                    epoch + 1, event.kind, event.detail, result.epochs_run,
+                )
+                break
+            guard_state.mark(event, "halted")
+            model.eval()
+            raise TrainingDivergedError(
+                f"training diverged at epoch {epoch + 1} "
+                f"({event.kind}: {event.detail})",
+                report=guard_state.report,
+            )
+
         result.losses.append(mean_loss)
         result.epochs_run = epoch + 1
+        attempt = 0
         if config.lr_decay < 1.0:
             optimizer.lr *= config.lr_decay
         logger.debug(
@@ -272,6 +364,7 @@ def train_model(
                     best_mrr,
                 )
                 break
+        epoch += 1
 
     model.eval()
     result.best_valid_mrr = best_mrr
@@ -289,6 +382,7 @@ def fit(
     graph: KnowledgeGraph,
     model_config: ModelConfig,
     train_config: TrainConfig,
+    guard: GuardConfig | None = None,
 ) -> TrainingResult:
     """Build a model from its config and train it — the one-call API."""
     model = create_model(
@@ -299,4 +393,4 @@ def fit(
         seed=model_config.seed,
         **model_config.options,
     )
-    return train_model(model, graph, train_config)
+    return train_model(model, graph, train_config, guard=guard)

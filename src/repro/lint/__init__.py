@@ -18,6 +18,7 @@ RPR003    no in-place ``Tensor.data`` mutation outside optim/modules
 RPR004    backward-closure completeness (``_unbroadcast`` / guards)
 RPR005    ``__all__`` ↔ public-def consistency
 RPR006    float64 dtype hygiene, mutable defaults, bare ``except``
+RPR007    resilience — no swallowed broad excepts; atomic binary writes
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -41,7 +42,14 @@ from .rules import (
 from .suppress import filter_suppressed, suppressed_rule_ids
 
 # Importing the rule modules populates the registry.
-from . import rules_api, rules_hygiene, rules_rng, rules_tape, rules_tensor
+from . import (
+    rules_api,
+    rules_hygiene,
+    rules_resilience,
+    rules_rng,
+    rules_tape,
+    rules_tensor,
+)
 
 __all__ = [
     "Finding",
@@ -63,6 +71,7 @@ __all__ = [
     "suppressed_rule_ids",
     "rules_api",
     "rules_hygiene",
+    "rules_resilience",
     "rules_rng",
     "rules_tape",
     "rules_tensor",

@@ -1,0 +1,232 @@
+"""Training guards: per-epoch divergence detection and recovery state.
+
+The guard inspects each finished epoch for four anomaly classes —
+NaN/Inf mean loss, loss explosion relative to the best epoch so far,
+non-finite model parameters, and absent/exploding gradient norms — and
+the training loop applies the configured :class:`GuardConfig` policy:
+
+``halt``
+    raise :class:`~repro.resilience.errors.TrainingDivergedError`
+    immediately (the campaign-level retry executor decides what's next);
+``rollback``
+    restore the last healthy in-memory snapshot (parameters *and*
+    optimizer moments — Adam's ``m``/``v`` soak up NaNs too) and stop
+    early with a usable model;
+``retry``
+    restore the snapshot and re-run the epoch with RNG streams spawned
+    from the base seed (see :mod:`repro.resilience.rng`), up to
+    ``max_epoch_retries`` times, then fall back to ``halt``.
+
+On a fault-free run the guard only observes — it never touches an RNG —
+so guarded and unguarded training produce bit-identical models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # import-light: guards must not drag in the kge package
+    from ..autograd import Module, Optimizer
+
+__all__ = [
+    "GuardConfig",
+    "GuardEvent",
+    "GuardReport",
+    "TrainingGuard",
+    "gradient_norm",
+]
+
+_POLICIES = ("off", "halt", "rollback", "retry")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Divergence-detection thresholds and the recovery policy."""
+
+    policy: str = "halt"
+    #: Mean epoch loss above ``explosion_factor · best_so_far`` (plus a
+    #: small absolute floor for near-zero losses) counts as an explosion.
+    explosion_factor: float = 25.0
+    #: Gradient norms (last batch of the epoch) above this are anomalous.
+    grad_norm_limit: float = 1e6
+    #: Also scan parameters for NaN/Inf each epoch (cheap, catches
+    #: corruption the loss hasn't surfaced yet).
+    check_parameters: bool = True
+    #: Epoch re-runs (with spawned RNG streams) before giving up.
+    max_epoch_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.explosion_factor <= 1.0:
+            raise ValueError("explosion_factor must be > 1")
+        if self.max_epoch_retries < 0:
+            raise ValueError("max_epoch_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One anomaly observation and what the policy did about it."""
+
+    epoch: int
+    attempt: int
+    kind: str  # nan_loss | loss_explosion | nonfinite_params | grad_anomaly
+    detail: str
+    action: str = ""  # halted | rolled_back | retried
+
+
+@dataclass
+class GuardReport:
+    """Everything the guard saw during one training run."""
+
+    events: list[GuardEvent] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    rollbacks: int = 0
+    epoch_retries: int = 0
+    halted: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.events
+
+    def summary(self) -> dict[str, float | int | bool]:
+        return {
+            "guard_events": len(self.events),
+            "guard_rollbacks": self.rollbacks,
+            "guard_epoch_retries": self.epoch_retries,
+            "guard_halted": self.halted,
+            "max_grad_norm": max(self.grad_norms, default=float("nan")),
+        }
+
+
+def _optimizer_state(optimizer: "Optimizer") -> dict[str, object]:
+    """Copy the optimizer's mutable numeric state (moments, counters)."""
+    state: dict[str, object] = {}
+    for name, value in vars(optimizer).items():
+        if name == "params":
+            continue
+        if isinstance(value, np.ndarray):
+            state[name] = value.copy()
+        elif isinstance(value, list) and all(
+            isinstance(item, np.ndarray) for item in value
+        ):
+            state[name] = [item.copy() for item in value]
+        elif isinstance(value, (int, float)):
+            state[name] = value
+    return state
+
+
+def _restore_optimizer(optimizer: "Optimizer", state: dict[str, object]) -> None:
+    for name, value in state.items():
+        if isinstance(value, np.ndarray):
+            getattr(optimizer, name)[...] = value
+        elif isinstance(value, list):
+            for live, saved in zip(getattr(optimizer, name), value):
+                live[...] = saved
+        else:
+            setattr(optimizer, name, value)
+
+
+def gradient_norm(optimizer: "Optimizer") -> float:
+    """Global L2 norm over the parameters' current gradients."""
+    total = 0.0
+    seen = False
+    for param in optimizer.params:
+        if param.grad is None:
+            continue
+        seen = True
+        total += float(np.sum(np.square(param.grad)))
+    return math.sqrt(total) if seen else float("nan")
+
+
+class TrainingGuard:
+    """Stateful anomaly detector + snapshot/rollback helper for one run."""
+
+    def __init__(self, config: GuardConfig) -> None:
+        self.config = config
+        self.report = GuardReport()
+        self._best_loss = math.inf
+        self._snapshot: tuple[dict[str, np.ndarray], dict[str, object]] | None = None
+
+    @property
+    def wants_snapshots(self) -> bool:
+        return self.config.policy in ("rollback", "retry")
+
+    def snapshot(self, model: "Module", optimizer: "Optimizer") -> None:
+        """Capture the last-known-good state (in memory, never on disk)."""
+        self._snapshot = (model.state_dict(), _optimizer_state(optimizer))
+
+    def restore(self, model: "Module", optimizer: "Optimizer") -> bool:
+        """Roll model + optimizer back to the last snapshot, if any."""
+        if self._snapshot is None:
+            return False
+        state, optimizer_state = self._snapshot
+        model.load_state_dict(state)
+        _restore_optimizer(optimizer, optimizer_state)
+        return True
+
+    def inspect(
+        self,
+        epoch: int,
+        attempt: int,
+        mean_loss: float,
+        model: "Module",
+        optimizer: "Optimizer",
+    ) -> GuardEvent | None:
+        """Return the first anomaly of the epoch (recorded), else ``None``."""
+        grad_norm = gradient_norm(optimizer)
+        self.report.grad_norms.append(grad_norm)
+
+        event: GuardEvent | None = None
+        if not math.isfinite(mean_loss):
+            event = GuardEvent(epoch, attempt, "nan_loss", f"mean loss {mean_loss}")
+        elif (
+            math.isfinite(self._best_loss)
+            and mean_loss
+            > self.config.explosion_factor * max(abs(self._best_loss), 1e-8)
+        ):
+            event = GuardEvent(
+                epoch,
+                attempt,
+                "loss_explosion",
+                f"mean loss {mean_loss:.4g} exploded past "
+                f"{self.config.explosion_factor}× best {self._best_loss:.4g}",
+            )
+        elif not math.isnan(grad_norm) and (
+            not math.isfinite(grad_norm) or grad_norm > self.config.grad_norm_limit
+        ):
+            event = GuardEvent(
+                epoch, attempt, "grad_anomaly", f"gradient norm {grad_norm:.4g}"
+            )
+        elif self.config.check_parameters:
+            for name, array in model.state_dict().items():
+                if not np.all(np.isfinite(array)):
+                    event = GuardEvent(
+                        epoch, attempt, "nonfinite_params",
+                        f"non-finite values in {name}",
+                    )
+                    break
+
+        if event is None:
+            self._best_loss = min(self._best_loss, mean_loss)
+        else:
+            self.report.events.append(event)
+        return event
+
+    def mark(self, event: GuardEvent, action: str) -> None:
+        """Record the policy's reaction on the latest event."""
+        updated = GuardEvent(event.epoch, event.attempt, event.kind, event.detail, action)
+        if self.report.events and self.report.events[-1] is event:
+            self.report.events[-1] = updated
+        else:
+            self.report.events.append(updated)
+        if action == "rolled_back":
+            self.report.rollbacks += 1
+        elif action == "retried":
+            self.report.epoch_retries += 1
+        elif action == "halted":
+            self.report.halted = True

@@ -1,0 +1,76 @@
+"""Append-only JSONL run journals for resumable campaigns.
+
+Each record is one JSON object on one line, flushed and fsynced at
+append time, so a killed process loses at most the line it was writing.
+Readers tolerate exactly that: a torn trailing line (or any undecodable
+line) is counted in :attr:`JournalView.corrupt_lines` and skipped
+instead of poisoning the whole campaign state.
+
+The journal is deliberately generic — records carry an ``event`` name
+plus arbitrary JSON fields — and :mod:`repro.experiments.runner` layers
+the campaign semantics (``cell_started`` / ``cell_succeeded`` /
+``cell_failed``) on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["RunJournal", "JournalView", "error_fingerprint"]
+
+
+def error_fingerprint(error: BaseException, limit: int = 200) -> str:
+    """A compact, stable identifier for a failure: ``Type: first line``."""
+    first_line = str(error).splitlines()[0] if str(error) else ""
+    return f"{type(error).__name__}: {first_line}"[:limit]
+
+
+@dataclass
+class JournalView:
+    """Parsed journal contents."""
+
+    records: list[dict] = field(default_factory=list)
+    corrupt_lines: int = 0
+
+    def by_event(self, event: str) -> list[dict]:
+        return [record for record in self.records if record.get("event") == event]
+
+
+class RunJournal:
+    """Crash-safe JSONL event log at a fixed path."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def append(self, event: str, **fields: object) -> dict:
+        """Durably append one record; returns the record written."""
+        record = {"event": event, **fields}
+        line = json.dumps(record, ensure_ascii=False)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    def read(self) -> JournalView:
+        """All decodable records; torn/corrupt lines are skipped, counted."""
+        view = JournalView()
+        if not self.path.is_file():
+            return view
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                view.corrupt_lines += 1
+                continue
+            if isinstance(record, dict):
+                view.records.append(record)
+            else:
+                view.corrupt_lines += 1
+        return view

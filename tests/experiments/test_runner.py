@@ -1,6 +1,8 @@
-"""Tests for the experiment runner and its model cache."""
+"""Tests for the experiment runner, its model cache, and campaign resilience."""
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 import pytest
@@ -9,12 +11,26 @@ from repro.experiments import (
     PAPER_DATASETS,
     PAPER_MODELS,
     PAPER_STRATEGIES,
+    CampaignState,
+    MatrixRow,
     clear_model_cache,
     default_model_config,
     default_train_config,
     get_trained_model,
     run_matrix,
 )
+from repro.resilience import FaultInjectedError, FaultPlan, RunJournal, inject
+
+
+def assert_rows_equal(a: MatrixRow, b: MatrixRow) -> None:
+    """Field-by-field equality where NaN == NaN (failed/uneval'd cells)."""
+    da, db = a.to_dict(), b.to_dict()
+    assert da.keys() == db.keys()
+    for key in da:
+        if isinstance(da[key], float) and math.isnan(da[key]):
+            assert math.isnan(db[key]), key
+        else:
+            assert da[key] == db[key], key
 
 
 class TestConstants:
@@ -127,3 +143,162 @@ class TestRunMatrix:
         assert {row.strategy for row in rows} == {
             "uniform_random", "entity_frequency",
         }
+
+
+_CAMPAIGN = dict(
+    datasets=("wn18rr-like",),
+    models=("distmult",),
+    strategies=("uniform_random", "entity_frequency"),
+    top_n=50,
+    max_candidates=100,
+)
+
+
+class TestResilientCampaigns:
+    def test_killed_campaign_resumes_bit_identically(self, tmp_path, monkeypatch):
+        """Acceptance: a campaign killed mid-cell and restarted produces the
+        same final report as an uninterrupted run."""
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        clear_model_cache()
+        reference = run_matrix(journal_path=tmp_path / "ref.jsonl", **_CAMPAIGN)
+
+        # Kill the process mid-second-cell: KeyboardInterrupt is not an
+        # Exception, so — like SIGKILL — no cell_failed record is written.
+        journal_path = tmp_path / "run.jsonl"
+        plan = FaultPlan().fail(
+            "matrix_cell", match="*entity_frequency*", exc=KeyboardInterrupt
+        )
+        with inject(plan):
+            with pytest.raises(KeyboardInterrupt):
+                run_matrix(journal_path=journal_path, **_CAMPAIGN)
+        assert plan.fired() == 1
+
+        state = CampaignState.from_journal(RunJournal(journal_path))
+        completed_key = "wn18rr-like/distmult/uniform_random"
+        assert set(state.completed) == {completed_key}
+        assert state.attempts["wn18rr-like/distmult/entity_frequency"] == 1
+
+        resumed = run_matrix(journal_path=journal_path, **_CAMPAIGN)
+        assert [row.status for row in resumed] == ["ok", "ok"]
+        # The completed cell is replayed bit-identically from the journal,
+        # not recomputed.
+        assert_rows_equal(
+            resumed[0], MatrixRow.from_dict(state.completed[completed_key])
+        )
+        # Every deterministic metric matches the uninterrupted reference
+        # run (wall-clock timing fields legitimately differ).
+        for ref_row, res_row in zip(reference, resumed):
+            assert ref_row.strategy == res_row.strategy
+            assert ref_row.num_facts == res_row.num_facts
+            assert ref_row.mrr == res_row.mrr
+        # A further restart replays the whole report bit-identically.
+        replayed = run_matrix(journal_path=journal_path, **_CAMPAIGN)
+        for resumed_row, replayed_row in zip(resumed, replayed):
+            assert_rows_equal(resumed_row, replayed_row)
+
+    def test_corrupt_checkpoint_is_quarantined_and_retrained(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: a corrupted cache checkpoint is detected, moved to a
+        *.corrupt sibling, and the model is retrained — never loaded."""
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        clear_model_cache()
+        original = get_trained_model("wn18rr-like", "distmult")
+        path = tmp_path / "wn18rr-like__distmult.npz"
+        data = bytearray(path.read_bytes())
+        middle = len(data) // 2
+        for offset in range(middle, middle + 32):
+            data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        clear_model_cache()
+        retrained = get_trained_model("wn18rr-like", "distmult")
+        quarantined = tmp_path / "wn18rr-like__distmult.npz.corrupt"
+        assert quarantined.is_file()
+        # Attempt 0 of the retrain reproduces the original run bit for bit.
+        np.testing.assert_array_equal(
+            original.entity_matrix(), retrained.entity_matrix()
+        )
+        # The rewritten cache is valid again and clear() removes quarantine.
+        clear_model_cache()
+        reloaded = get_trained_model("wn18rr-like", "distmult")
+        np.testing.assert_array_equal(
+            original.entity_matrix(), reloaded.entity_matrix()
+        )
+        clear_model_cache(disk=True)
+        assert not quarantined.exists()
+
+    def test_degrade_mode_emits_partial_failure_rows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        clear_model_cache()
+        journal_path = tmp_path / "run.jsonl"
+        with inject(
+            FaultPlan().fail("matrix_cell", match="*entity_frequency*", times=-1)
+        ):
+            rows = run_matrix(
+                journal_path=journal_path,
+                max_cell_attempts=2,
+                on_error="degrade",
+                **_CAMPAIGN,
+            )
+        assert [row.status for row in rows] == ["ok", "failed"]
+        failed = rows[1]
+        assert failed.strategy == "entity_frequency"
+        assert failed.error.startswith("FaultInjectedError")
+        assert math.isnan(failed.mrr) and failed.num_facts == 0
+
+        state = CampaignState.from_journal(RunJournal(journal_path))
+        key = "wn18rr-like/distmult/entity_frequency"
+        assert state.attempts[key] == 2
+        assert state.last_error[key].startswith("FaultInjectedError")
+
+        # The budget is spent: a resume (fault gone) must NOT re-run the
+        # cell but report it failed with the recorded fingerprint.
+        resumed = run_matrix(
+            journal_path=journal_path,
+            max_cell_attempts=2,
+            on_error="degrade",
+            **_CAMPAIGN,
+        )
+        assert [row.status for row in resumed] == ["ok", "failed"]
+        assert resumed[1].error.startswith("FaultInjectedError")
+        assert_rows_equal(resumed[0], rows[0])
+
+    def test_transient_cell_failure_recovers_in_process(
+        self, tmp_path, monkeypatch
+    ):
+        """A cell that fails once and then succeeds is re-run inside the
+        same degrading campaign — no restart needed."""
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        clear_model_cache()
+        journal_path = tmp_path / "run.jsonl"
+        with inject(
+            FaultPlan().fail("matrix_cell", match="*uniform_random*", times=1)
+        ) as plan:
+            rows = run_matrix(
+                journal_path=journal_path,
+                max_cell_attempts=3,
+                on_error="degrade",
+                **_CAMPAIGN,
+            )
+        assert plan.fired() == 1
+        assert [row.status for row in rows] == ["ok", "ok"]
+        state = CampaignState.from_journal(RunJournal(journal_path))
+        assert state.attempts["wn18rr-like/distmult/uniform_random"] == 2
+
+    def test_raise_mode_propagates_and_preserves_progress(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        clear_model_cache()
+        journal_path = tmp_path / "run.jsonl"
+        with inject(FaultPlan().fail("matrix_cell", match="*entity_frequency*")):
+            with pytest.raises(FaultInjectedError):
+                run_matrix(journal_path=journal_path, **_CAMPAIGN)
+        view = RunJournal(journal_path).read()
+        assert len(view.by_event("cell_succeeded")) == 1
+        assert len(view.by_event("cell_failed")) == 1
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_matrix(on_error="ignore", **_CAMPAIGN)

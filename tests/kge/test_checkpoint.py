@@ -1,6 +1,8 @@
-"""Checkpoint save/load round-trip tests."""
+"""Checkpoint save/load round-trip, atomicity, and integrity tests."""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
@@ -13,6 +15,7 @@ from repro.kge import (
     load_model,
     save_model,
 )
+from repro.resilience import CheckpointCorruptError, FaultPlan, inject
 
 
 class TestRoundTrip:
@@ -90,3 +93,89 @@ class TestRoundTrip:
         path = tmp_path / "deep" / "nested" / "model.npz"
         save_model(model, path)
         assert path.is_file()
+
+
+def _saved_model(tmp_path):
+    model = create_model("distmult", num_entities=8, num_relations=2, dim=4, seed=2)
+    path = tmp_path / "model.npz"
+    save_model(model, path)
+    return model, path
+
+
+class TestAtomicity:
+    def test_no_temp_residue_after_save(self, tmp_path):
+        _saved_model(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_missing_file_is_not_reported_as_corrupt(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "never_saved.npz")
+
+
+class TestIntegrity:
+    def test_truncated_archive_raises_typed_error(self, tmp_path):
+        _, path = _saved_model(tmp_path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(CheckpointCorruptError, match="unreadable"):
+            load_model(path)
+
+    def test_injected_save_corruption_is_caught_at_load(self, tmp_path):
+        model = create_model("distmult", num_entities=8, num_relations=2, dim=4)
+        path = tmp_path / "model.npz"
+        with inject(FaultPlan().corrupt(match="*.npz")) as plan:
+            save_model(model, path)
+        assert plan.fired() == 1
+        with pytest.raises(CheckpointCorruptError):
+            load_model(path)
+
+    def test_tampered_parameters_fail_the_checksum(self, tmp_path):
+        """A bit-flip that keeps the zip container valid must still be
+        detected via the embedded content digest."""
+        _, path = _saved_model(tmp_path)
+        with np.load(path) as stored:
+            arrays = {key: stored[key].copy() for key in stored.files}
+        target = next(key for key in arrays if key != "__repro_header__")
+        arrays[target].reshape(-1)[0] += 1.0
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointCorruptError, match="checksum mismatch"):
+            load_model(path)
+
+    def test_verify_false_skips_the_digest_check(self, tmp_path):
+        _, path = _saved_model(tmp_path)
+        with np.load(path) as stored:
+            arrays = {key: stored[key].copy() for key in stored.files}
+        target = next(key for key in arrays if key != "__repro_header__")
+        arrays[target].reshape(-1)[0] += 1.0
+        np.savez(path, **arrays)
+        assert load_model(path, verify=False) is not None
+
+    def test_corrupt_error_is_a_value_error(self):
+        # Legacy recovery paths catch ValueError; the typed error must
+        # keep flowing through them.
+        assert issubclass(CheckpointCorruptError, ValueError)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, tmp_path):
+        model, path = _saved_model(tmp_path)
+        with np.load(path) as stored:
+            arrays = {key: stored[key].copy() for key in stored.files}
+        header = json.loads(bytes(arrays["__repro_header__"].tobytes()).decode())
+        del header["checksum"]
+        arrays["__repro_header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            model.entity_matrix(), reloaded.entity_matrix()
+        )
+
+    def test_garbled_header_raises_typed_error(self, tmp_path):
+        _, path = _saved_model(tmp_path)
+        with np.load(path) as stored:
+            arrays = {key: stored[key].copy() for key in stored.files}
+        arrays["__repro_header__"] = np.frombuffer(
+            b'{"model": not-json', dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointCorruptError, match="header"):
+            load_model(path)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.kge import ModelConfig, TrainConfig, evaluate_ranking, fit, train_model
 from repro.kge.base import create_model
+from repro.resilience import GuardConfig, TrainingDivergedError
 
 
 class TestTrainConfigValidation:
@@ -187,3 +188,164 @@ class TestDeterminism:
             a.model.entity_matrix(), b.model.entity_matrix()
         )
         assert a.losses == b.losses
+
+
+_GUARD_CONFIG = TrainConfig(
+    job="kvsall", loss="bce", epochs=5, batch_size=64, lr=0.05, seed=3
+)
+
+
+def _poison_epochs(monkeypatch, poison_calls, kind="loss"):
+    """Script NaNs into training: wrap the real kvsall epoch so specific
+    calls return a NaN loss (and poison a parameter for ``kind="params"``),
+    exactly like a diverged optimizer step would."""
+    import repro.kge.training as training
+
+    real_epoch = training._kvsall_epoch
+    calls = {"count": 0}
+
+    def wrapper(model, queries, answers, loss_fn, optimizer, config, rng):
+        loss = real_epoch(model, queries, answers, loss_fn, optimizer, config, rng)
+        calls["count"] += 1
+        if calls["count"] in poison_calls:
+            if kind == "params":
+                next(iter(model.parameters())).data[0, 0] = np.nan
+                return loss
+            return float("nan")
+        return loss
+
+    monkeypatch.setattr(training, "_kvsall_epoch", wrapper)
+    return calls
+
+
+def _train_guarded(tiny_graph, guard):
+    model = create_model(
+        "distmult",
+        num_entities=tiny_graph.num_entities,
+        num_relations=tiny_graph.num_relations,
+        dim=8,
+        seed=1,
+    )
+    return model, train_model(model, tiny_graph, _GUARD_CONFIG, guard=guard)
+
+
+class TestTrainingGuards:
+    def test_fault_free_guarded_run_is_bit_identical(self, tiny_graph):
+        _, unguarded = _train_guarded(tiny_graph, None)
+        _, guarded = _train_guarded(tiny_graph, GuardConfig(policy="retry"))
+        np.testing.assert_array_equal(
+            unguarded.model.entity_matrix(), guarded.model.entity_matrix()
+        )
+        assert unguarded.losses == guarded.losses
+        assert guarded.guard_report is not None and guarded.guard_report.clean
+        assert len(guarded.guard_report.grad_norms) == _GUARD_CONFIG.epochs
+
+    def test_halt_policy_raises_typed_error(self, tiny_graph, monkeypatch):
+        _poison_epochs(monkeypatch, {3})
+        model = create_model(
+            "distmult",
+            num_entities=tiny_graph.num_entities,
+            num_relations=tiny_graph.num_relations,
+            dim=8,
+            seed=1,
+        )
+        with pytest.raises(TrainingDivergedError, match="nan_loss") as info:
+            train_model(model, tiny_graph, _GUARD_CONFIG, guard=GuardConfig(policy="halt"))
+        assert info.value.report.halted
+        assert info.value.report.events[0].kind == "nan_loss"
+        assert info.value.report.events[0].epoch == 2
+        # The model is left eval-consistent even on the failure path.
+        assert not model.training
+
+    def test_rollback_restores_last_healthy_state(self, tiny_graph, monkeypatch):
+        _poison_epochs(monkeypatch, {3})
+        model, result = _train_guarded(tiny_graph, GuardConfig(policy="rollback"))
+        assert result.rolled_back
+        assert result.epochs_run == 2
+        assert result.guard_report.rollbacks == 1
+        assert not model.training
+        assert all(np.all(np.isfinite(v)) for v in model.state_dict().values())
+        # Bit-identical to a clean run stopped after the same two epochs.
+        reference = create_model(
+            "distmult",
+            num_entities=tiny_graph.num_entities,
+            num_relations=tiny_graph.num_relations,
+            dim=8,
+            seed=1,
+        )
+        train_model(reference, tiny_graph, _GUARD_CONFIG.with_(epochs=2))
+        np.testing.assert_array_equal(
+            model.entity_matrix(), reference.entity_matrix()
+        )
+
+    def test_retry_policy_reruns_the_epoch_and_completes(
+        self, tiny_graph, monkeypatch
+    ):
+        calls = _poison_epochs(monkeypatch, {3})
+        model, result = _train_guarded(
+            tiny_graph, GuardConfig(policy="retry", max_epoch_retries=2)
+        )
+        assert result.epochs_run == _GUARD_CONFIG.epochs
+        assert result.guard_report.epoch_retries == 1
+        assert result.guard_report.events[0].action == "retried"
+        assert calls["count"] == _GUARD_CONFIG.epochs + 1  # one extra run
+        assert all(np.isfinite(loss) for loss in result.losses)
+        assert all(np.all(np.isfinite(v)) for v in model.state_dict().values())
+        assert not model.training
+
+    def test_retry_budget_exhaustion_falls_back_to_halt(
+        self, tiny_graph, monkeypatch
+    ):
+        _poison_epochs(monkeypatch, {3, 4, 5})
+        with pytest.raises(TrainingDivergedError) as info:
+            _train_guarded(tiny_graph, GuardConfig(policy="retry", max_epoch_retries=2))
+        assert info.value.report.epoch_retries == 2
+        assert info.value.report.halted
+
+    def test_nonfinite_parameters_trigger_the_guard(self, tiny_graph, monkeypatch):
+        _poison_epochs(monkeypatch, {2}, kind="params")
+        with pytest.raises(TrainingDivergedError, match="nonfinite_params"):
+            _train_guarded(tiny_graph, GuardConfig(policy="halt"))
+
+    def test_off_policy_records_nothing(self, tiny_graph):
+        _, result = _train_guarded(tiny_graph, GuardConfig(policy="off"))
+        assert result.guard_report is None
+
+    def test_negative_sampling_retry_reseeds_the_sampler(
+        self, tiny_graph, monkeypatch
+    ):
+        """The retried epoch draws different negatives (spawned sampler
+        stream) yet ends deterministically."""
+        import repro.kge.training as training
+
+        real_epoch = training._negative_sampling_epoch
+        seen_rngs = []
+        calls = {"count": 0}
+
+        def wrapper(model, graph, sampler, loss_fn, optimizer, config, rng):
+            calls["count"] += 1
+            seen_rngs.append(sampler.rng)
+            loss = real_epoch(
+                model, graph, sampler, loss_fn, optimizer, config, rng
+            )
+            return float("nan") if calls["count"] == 2 else loss
+
+        monkeypatch.setattr(training, "_negative_sampling_epoch", wrapper)
+        config = TrainConfig(
+            job="negative_sampling", loss="margin", epochs=3, batch_size=64,
+            lr=0.01, num_negatives=4, seed=3,
+        )
+        model = create_model(
+            "transe",
+            num_entities=tiny_graph.num_entities,
+            num_relations=tiny_graph.num_relations,
+            dim=8,
+            seed=1,
+        )
+        result = train_model(
+            model, tiny_graph, config, guard=GuardConfig(policy="retry")
+        )
+        assert result.epochs_run == 3
+        assert result.guard_report.epoch_retries == 1
+        # The retried epoch got a reseeded sampler clone, not the original.
+        assert seen_rngs[2] is not seen_rngs[1]

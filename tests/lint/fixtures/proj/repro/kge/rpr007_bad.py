@@ -1,0 +1,17 @@
+"""Bad fixture for RPR007: torn writes and swallowed exceptions."""
+
+import numpy as np
+
+
+def save_cache(path, arrays):
+    with open(path, "wb") as handle:
+        handle.write(b"header")
+    np.savez(path, **arrays)
+    np.savez_compressed(path, **arrays)
+
+
+def ignore_everything(fn):
+    try:
+        return fn()
+    except Exception:
+        pass

@@ -1,0 +1,19 @@
+"""Clean fixture for RPR007: atomic writers and handled exceptions."""
+
+from repro.resilience import atomic_savez
+
+
+def save_cache(path, arrays):
+    atomic_savez(path, **arrays)
+
+
+def read_cache(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def tolerant(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,9 +1,9 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR006 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR007 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
-The scoped rules (RPR002/RPR004) live under a fake package tree in
+The scoped rules (RPR002/RPR004/RPR007) live under a fake package tree in
 ``fixtures/proj`` so module-name derivation resolves them into the
 ``repro.*`` namespaces the rules watch.
 """
@@ -38,6 +38,12 @@ CASES = [
     ),
     ("RPR005", "rpr005_bad.py", "rpr005_clean.py", 2),
     ("RPR006", "rpr006_bad.py", "rpr006_clean.py", 4),
+    (
+        "RPR007",
+        "proj/repro/kge/rpr007_bad.py",
+        "proj/repro/kge/rpr007_clean.py",
+        4,
+    ),
 ]
 
 
@@ -123,3 +129,29 @@ def test_rpr005_rejects_non_literal_all():
 
 def test_rpr005_skips_modules_without_all():
     assert ENGINE.lint_source("def public():\n    return 1\n") == []
+
+
+def test_rpr007_atomic_writes_only_fire_in_scoped_modules():
+    source = "import numpy as np\ndef save(path, a):\n    np.savez(path, a=a)\n"
+    findings = ENGINE.lint_source(source, module="repro.kge.checkpoint")
+    assert [finding.rule_id for finding in findings] == ["RPR007"]
+    findings = ENGINE.lint_source(source, module="repro.experiments.runner")
+    assert [finding.rule_id for finding in findings] == ["RPR007"]
+    # The sanctioned writer itself is out of scope.
+    assert ENGINE.lint_source(source, module="repro.resilience.atomic") == []
+    assert ENGINE.lint_source(source, module="repro.discovery.candidates") == []
+
+
+def test_rpr007_swallowed_broad_except_fires_everywhere():
+    source = "def f(fn):\n    try:\n        fn()\n    except Exception:\n        pass\n"
+    findings = ENGINE.lint_source(source)
+    assert [finding.rule_id for finding in findings] == ["RPR007"]
+    # A handler that actually does something is fine.
+    handled = (
+        "def f(fn):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except Exception as error:\n"
+        "        raise RuntimeError('wrapped') from error\n"
+    )
+    assert ENGINE.lint_source(handled) == []

@@ -1,0 +1,181 @@
+"""Guard-state tests: anomaly detection, snapshots, spawned RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam
+from repro.kge.base import create_model
+from repro.resilience import (
+    GuardConfig,
+    TrainingGuard,
+    spawn_seed,
+    spawn_stream,
+)
+from repro.resilience.guards import gradient_norm
+
+
+@pytest.fixture()
+def model_and_optimizer():
+    model = create_model("distmult", num_entities=10, num_relations=3, dim=4, seed=0)
+    optimizer = Adam(list(model.parameters()), lr=0.01)
+    return model, optimizer
+
+
+class TestGuardConfigValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            GuardConfig(policy="panic")
+
+    def test_bad_explosion_factor(self):
+        with pytest.raises(ValueError):
+            GuardConfig(explosion_factor=1.0)
+
+    def test_bad_retry_budget(self):
+        with pytest.raises(ValueError):
+            GuardConfig(max_epoch_retries=-1)
+
+
+class TestSpawnedStreams:
+    def test_empty_key_matches_default_rng(self):
+        # Attempt 0 of every retried operation must reproduce the
+        # historical unretried draws bit for bit.
+        np.testing.assert_array_equal(
+            spawn_stream(7).random(16), np.random.default_rng(7).random(16)
+        )
+
+    def test_distinct_keys_give_distinct_streams(self):
+        a = spawn_stream(7, 3, 1).random(16)
+        b = spawn_stream(7, 3, 2).random(16)
+        assert not np.array_equal(a, b)
+
+    def test_spawned_streams_are_reproducible(self):
+        np.testing.assert_array_equal(
+            spawn_stream(7, 3, 1).random(16), spawn_stream(7, 3, 1).random(16)
+        )
+
+    def test_spawn_seed_identity_and_derivation(self):
+        assert spawn_seed(11) == 11
+        assert spawn_seed(11, 1) != 11
+        assert spawn_seed(11, 1) == spawn_seed(11, 1)
+        assert spawn_seed(11, 1) != spawn_seed(11, 2)
+
+
+class TestAnomalyDetection:
+    def test_healthy_epoch_yields_no_event(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig())
+        assert guard.inspect(0, 0, 0.7, model, optimizer) is None
+        assert guard.report.clean
+
+    def test_nan_loss(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig())
+        event = guard.inspect(0, 0, float("nan"), model, optimizer)
+        assert event is not None and event.kind == "nan_loss"
+
+    def test_inf_loss(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig())
+        event = guard.inspect(0, 0, float("inf"), model, optimizer)
+        assert event is not None and event.kind == "nan_loss"
+
+    def test_loss_explosion_relative_to_best(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig(explosion_factor=25.0))
+        assert guard.inspect(0, 0, 1.0, model, optimizer) is None
+        assert guard.inspect(1, 0, 20.0, model, optimizer) is None
+        event = guard.inspect(2, 0, 26.0, model, optimizer)
+        assert event is not None and event.kind == "loss_explosion"
+
+    def test_first_epoch_cannot_explode(self, model_and_optimizer):
+        # Without a best-so-far reference any finite first loss is healthy.
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig())
+        assert guard.inspect(0, 0, 1e12, model, optimizer) is None
+
+    def test_gradient_anomaly(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        for param in optimizer.params:
+            param.grad = np.full_like(param.data, 1e7)
+        guard = TrainingGuard(GuardConfig(grad_norm_limit=1e6))
+        event = guard.inspect(0, 0, 0.5, model, optimizer)
+        assert event is not None and event.kind == "grad_anomaly"
+        assert guard.report.grad_norms[0] > 1e6
+
+    def test_missing_gradients_are_not_anomalous(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        assert np.isnan(gradient_norm(optimizer))
+        guard = TrainingGuard(GuardConfig())
+        assert guard.inspect(0, 0, 0.5, model, optimizer) is None
+
+    def test_nonfinite_parameters(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        next(iter(model.parameters())).data[0, 0] = np.nan
+        guard = TrainingGuard(GuardConfig())
+        event = guard.inspect(0, 0, 0.5, model, optimizer)
+        assert event is not None and event.kind == "nonfinite_params"
+
+    def test_parameter_scan_can_be_disabled(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        next(iter(model.parameters())).data[0, 0] = np.nan
+        guard = TrainingGuard(GuardConfig(check_parameters=False))
+        assert guard.inspect(0, 0, 0.5, model, optimizer) is None
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_covers_optimizer_moments(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        # Materialise non-trivial Adam moments with one real step.
+        for param in optimizer.params:
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+
+        guard = TrainingGuard(GuardConfig(policy="rollback"))
+        assert guard.wants_snapshots
+        guard.snapshot(model, optimizer)
+        saved_params = {k: v.copy() for k, v in model.state_dict().items()}
+        saved_m = [m.copy() for m in optimizer._m]
+        saved_t = optimizer._t
+
+        # Poison everything the way a diverged step would.
+        for param in optimizer.params:
+            param.data[...] = np.nan
+        for m in optimizer._m:
+            m[...] = np.nan
+        optimizer._t += 5
+
+        assert guard.restore(model, optimizer)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, saved_params[key])
+        for live, saved in zip(optimizer._m, saved_m):
+            np.testing.assert_array_equal(live, saved)
+        assert optimizer._t == saved_t
+
+    def test_restore_without_snapshot_is_a_noop(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig(policy="rollback"))
+        assert not guard.restore(model, optimizer)
+
+    def test_halt_policy_takes_no_snapshots(self):
+        assert not TrainingGuard(GuardConfig(policy="halt")).wants_snapshots
+
+
+class TestReport:
+    def test_mark_updates_counters_and_actions(self, model_and_optimizer):
+        model, optimizer = model_and_optimizer
+        guard = TrainingGuard(GuardConfig(policy="retry"))
+        event = guard.inspect(3, 0, float("nan"), model, optimizer)
+        guard.mark(event, "retried")
+        assert guard.report.epoch_retries == 1
+        assert guard.report.events[-1].action == "retried"
+        event = guard.inspect(3, 1, float("nan"), model, optimizer)
+        guard.mark(event, "halted")
+        assert guard.report.halted
+        assert not guard.report.clean
+
+    def test_summary_keys(self):
+        summary = TrainingGuard(GuardConfig()).report.summary()
+        assert summary["guard_events"] == 0
+        assert not summary["guard_halted"]

@@ -1,0 +1,93 @@
+"""Run-journal tests: durable appends, torn-line tolerance, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience import RunJournal, error_fingerprint
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("cell_started", cell="a/b/c", attempt=1)
+        journal.append("cell_succeeded", cell="a/b/c", row={"mrr": 0.25})
+        view = journal.read()
+        assert [record["event"] for record in view.records] == [
+            "cell_started",
+            "cell_succeeded",
+        ]
+        assert view.records[1]["row"] == {"mrr": 0.25}
+        assert view.corrupt_lines == 0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        view = RunJournal(tmp_path / "absent.jsonl").read()
+        assert view.records == []
+        assert view.corrupt_lines == 0
+
+    def test_floats_roundtrip_bit_exactly(self, tmp_path):
+        # Resume replays recorded rows; float repr → JSON → float must be
+        # the identity, or "bit-identical resumed reports" is impossible.
+        value = 0.1 + 0.2  # famously not 0.3
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("x", value=value, nested={"v": 1.0 / 3.0})
+        record = journal.read().records[0]
+        assert record["value"] == value
+        assert record["nested"]["v"] == 1.0 / 3.0
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        journal = RunJournal(tmp_path / "deep" / "run.jsonl")
+        journal.append("x")
+        assert journal.path.is_file()
+
+
+class TestTornLines:
+    def test_torn_trailing_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append("cell_started", cell="a")
+        journal.append("cell_succeeded", cell="a")
+        # Simulate a crash mid-append: a truncated JSON line at the tail.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "cell_start')
+        view = journal.read()
+        assert len(view.records) == 2
+        assert view.corrupt_lines == 1
+
+    def test_non_object_lines_count_as_corrupt(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('[1, 2, 3]\n{"event": "ok"}\n\n', encoding="utf-8")
+        view = RunJournal(path).read()
+        assert [record["event"] for record in view.records] == ["ok"]
+        assert view.corrupt_lines == 1
+
+    def test_records_survive_as_plain_json_lines(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("cell_started", cell="a/b/c")
+        line = journal.path.read_text(encoding="utf-8").strip()
+        assert json.loads(line) == {"event": "cell_started", "cell": "a/b/c"}
+
+
+class TestByEvent:
+    def test_filters_on_event_name(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("cell_started", cell="a")
+        journal.append("cell_failed", cell="a")
+        journal.append("cell_started", cell="b")
+        view = journal.read()
+        assert len(view.by_event("cell_started")) == 2
+        assert len(view.by_event("cell_failed")) == 1
+        assert view.by_event("nonexistent") == []
+
+
+class TestErrorFingerprint:
+    def test_type_and_first_line(self):
+        error = ValueError("bad value\nwith a second line")
+        assert error_fingerprint(error) == "ValueError: bad value"
+
+    def test_empty_message(self):
+        assert error_fingerprint(KeyError()) == "KeyError: "
+
+    def test_truncates_to_limit(self):
+        error = RuntimeError("x" * 500)
+        assert len(error_fingerprint(error, limit=50)) == 50

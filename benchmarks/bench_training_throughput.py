@@ -1,0 +1,197 @@
+"""Training throughput — row-sparse gradient fast path vs dense baseline.
+
+A negative-sampling batch touches a few hundred embedding rows out of
+thousands, yet the dense path scatter-adds every batch gradient into a
+full ``(num_entities, dim)`` array and the optimizers then sweep the
+whole table.  With ``sparse_grads`` enabled the tape emits deduplicated
+:class:`repro.autograd.SparseGrad` row bundles and every optimizer
+applies a row-wise kernel instead — bit-identical by construction (plain
+SGD, Adagrad) or by exact lazy replay (SGD momentum, Adam).
+
+Two measurements, both written to
+``benchmarks/results/BENCH_training.json``:
+
+* **optimizer-step microbenchmark** — one ``(30k, 64)`` embedding table,
+  a 512-row batch gradient, dense vs sparse ``step()`` for all four
+  optimizers.  Target: ≥5× steps/sec on the row-sparse path.
+* **epoch throughput** — full ``train_model`` negative-sampling epochs
+  on a 30k-entity synthetic graph (mid paper scale: the source paper's
+  graphs span 14k–123k entities), ``sparse_grads="off"`` vs the shipping
+  ``"auto"`` policy, asserting the resulting models are bit-identical.
+  Target: ≥2×, gated on Adagrad (the optimizer whose dense step is the
+  most expensive full-table sweep).  Plain SGD lands between ~1.7× and
+  ~2.8× depending on the model and is recorded ungated.  Adam is also
+  recorded ungated: its *exact* lazy catch-up replays every deferred
+  per-row step verbatim — the price of bitwise identity — so over a full
+  epoch it conserves the dense path's total update work and mostly saves
+  the dense gradient materialisation in the backward pass; for TransE
+  (whose per-batch row renormalisation forces a full flush every step)
+  the ``auto`` policy keeps Adam dense outright.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from common import RESULTS_DIR, save_and_print
+
+from repro.autograd import SGD, Adagrad, Adam, SparseGrad, Tensor
+from repro.experiments import format_table
+from repro.kg import KGProfile, generate_kg
+from repro.kge import TrainConfig, train_model
+from repro.kge.base import create_model
+
+#: Scaled so the sparse/dense row ratio (~512/30000) matches the paper's
+#: workloads (batches of hundreds against 14k–123k entity vocabularies).
+NUM_ENTITIES = 30_000
+DIM = 64
+BATCH_ROWS = 512
+
+BENCH_PROFILE = KGProfile(
+    name="bench-training",
+    num_entities=NUM_ENTITIES,
+    num_relations=24,
+    num_triples=36_000,
+    num_types=8,
+    seed=99,
+)
+
+OPTIMIZERS = {
+    "sgd": lambda params: SGD(params, lr=0.01),
+    "sgd-momentum": lambda params: SGD(params, lr=0.01, momentum=0.9),
+    "adagrad": lambda params: Adagrad(params, lr=0.01),
+    "adam": lambda params: Adam(params, lr=0.01),
+}
+
+EPOCH_MODELS = ["transe", "distmult", "complex"]
+
+
+def _steps_per_sec(make_opt, sparse: bool, steps: int = 60) -> float:
+    rng = np.random.default_rng(17)
+    param = Tensor(rng.standard_normal((NUM_ENTITIES, DIM)), requires_grad=True)
+    param.sparse_grad = sparse
+    optimizer = make_opt([param])
+    indices = rng.integers(0, NUM_ENTITIES, size=BATCH_ROWS)
+    values = rng.standard_normal((BATCH_ROWS, DIM))
+    if sparse:
+        grad = SparseGrad.from_indices(indices, values, param.shape)
+    else:
+        grad = np.zeros(param.shape)
+        np.add.at(grad, indices, values)
+    # Warm up (engages the lazy machinery and the fused scratch buffers).
+    param.grad = grad
+    optimizer.step()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        param.grad = grad
+        optimizer.step()
+    return steps / (time.perf_counter() - t0)
+
+
+def _train_seconds(
+    graph, model_name: str, optimizer: str, sparse: bool
+) -> tuple[float, dict, bool]:
+    model = create_model(
+        model_name,
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        dim=DIM,
+        seed=1,
+    )
+    config = TrainConfig(
+        job="negative_sampling",
+        loss="margin",
+        epochs=2,
+        batch_size=BATCH_ROWS,
+        lr=0.01,
+        optimizer=optimizer,
+        num_negatives=4,
+        seed=5,
+        sparse_grads="auto" if sparse else "off",
+    )
+    t0 = time.perf_counter()
+    train_model(model, graph, config)
+    elapsed = time.perf_counter() - t0
+    enabled = any(p.sparse_grad for p in model.sparse_entity_parameters())
+    return elapsed, model.state_dict(), enabled
+
+
+def test_training_throughput():
+    payload: dict[str, object] = {
+        "num_entities": NUM_ENTITIES,
+        "dim": DIM,
+        "batch_rows": BATCH_ROWS,
+    }
+
+    # --- Optimizer-step microbenchmark.
+    step_rows = []
+    for name, make_opt in OPTIMIZERS.items():
+        dense = _steps_per_sec(make_opt, sparse=False)
+        sparse = _steps_per_sec(make_opt, sparse=True)
+        step_rows.append(
+            {
+                "optimizer": name,
+                "dense_steps_per_s": round(dense, 1),
+                "sparse_steps_per_s": round(sparse, 1),
+                "speedup": round(sparse / dense, 2),
+            }
+        )
+    assert all(row["speedup"] >= 5.0 for row in step_rows), step_rows
+
+    # --- Epoch throughput end to end, pinned bit-identical.  The ≥2×
+    # target is gated on adagrad; sgd and adam are recorded without a
+    # gate (see module docstring).
+    graph = generate_kg(BENCH_PROFILE)
+    epoch_rows = []
+    for model_name in EPOCH_MODELS:
+        for optimizer in ("sgd", "adagrad", "adam"):
+            dense_s, dense_state, _ = _train_seconds(
+                graph, model_name, optimizer, sparse=False
+            )
+            sparse_s, sparse_state, auto_enabled = _train_seconds(
+                graph, model_name, optimizer, sparse=True
+            )
+            for key in dense_state:
+                np.testing.assert_array_equal(
+                    dense_state[key],
+                    sparse_state[key],
+                    err_msg=f"{model_name}:{optimizer}:{key}",
+                )
+            epoch_rows.append(
+                {
+                    "model": model_name,
+                    "optimizer": optimizer,
+                    "dense_s_per_epoch": round(dense_s / 2, 3),
+                    "sparse_s_per_epoch": round(sparse_s / 2, 3),
+                    "speedup": round(dense_s / sparse_s, 2),
+                    "auto_enabled": auto_enabled,
+                    "bit_identical": True,
+                }
+            )
+    assert all(
+        row["speedup"] >= 2.0 for row in epoch_rows if row["optimizer"] == "adagrad"
+    ), epoch_rows
+
+    payload["optimizer_step"] = step_rows
+    payload["epoch_throughput"] = epoch_rows
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_training.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    save_and_print(
+        "training_throughput",
+        format_table(
+            step_rows,
+            title=f"optimizer step, ({NUM_ENTITIES}, {DIM}) table, "
+            f"{BATCH_ROWS}-row batch gradient (60 steps)",
+        )
+        + "\n\n"
+        + format_table(
+            epoch_rows,
+            title=f"train_model negative sampling on {BENCH_PROFILE.name} "
+            f"({NUM_ENTITIES} entities), dense vs sparse_grads (2 epochs)",
+        ),
+    )

@@ -4,6 +4,7 @@ The substrate that lets :mod:`repro.kge` train TransE, DistMult, ComplEx,
 RESCAL, HolE and ConvE without torch.  Public surface:
 
 * :class:`Tensor` — numpy array with gradient tape, :func:`no_grad`.
+* :class:`SparseGrad` — row-sparse gradient for opt-in embedding tables.
 * :mod:`repro.autograd.ops` — conv2d, circular correlation, dropout.
 * :mod:`repro.autograd.modules` — Module/Parameter/Embedding/Linear/
   Conv2d/BatchNorm/Dropout.
@@ -21,10 +22,12 @@ from .modules import (
 )
 from .ops import circular_convolution, circular_correlation, conv2d, dropout
 from .optim import SGD, Adagrad, Adam, Optimizer
+from .sparse import SparseGrad
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "Tensor",
+    "SparseGrad",
     "no_grad",
     "is_grad_enabled",
     "concatenate",

@@ -28,10 +28,17 @@ __all__ = [
 
 
 class Parameter(Tensor):
-    """A tensor registered as a trainable model parameter."""
+    """A tensor registered as a trainable model parameter.
 
-    def __init__(self, data: np.ndarray) -> None:
+    ``sparse_grad=True`` opts the parameter into row-sparse gradient
+    accumulation for integer-array row lookups (see
+    :meth:`Tensor.gather_rows`); dense accumulation stays the default.
+    The flag can also be toggled after construction.
+    """
+
+    def __init__(self, data: np.ndarray, sparse_grad: bool = False) -> None:
         super().__init__(data, requires_grad=True)
+        self.sparse_grad = bool(sparse_grad)
 
 
 class Module:
@@ -180,6 +187,7 @@ class Embedding(Module):
         embedding_dim: int,
         rng: np.random.Generator,
         init: str = "xavier_uniform",
+        sparse_grad: bool = False,
     ) -> None:
         super().__init__()
         if num_embeddings <= 0 or embedding_dim <= 0:
@@ -193,7 +201,7 @@ class Embedding(Module):
             data = rng.normal(0.0, 0.1, size=shape)
         else:
             raise ValueError(f"unknown init scheme: {init!r}")
-        self.weight = Parameter(data)
+        self.weight = Parameter(data, sparse_grad=sparse_grad)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
 

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .sparse import SparseGrad
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack"]
 
 _GRAD_ENABLED = True
@@ -78,9 +80,29 @@ class Tensor:
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+
+    When :attr:`sparse_grad` is set (opt-in, leaf parameters only),
+    row-lookup gradients arrive as :class:`~repro.autograd.sparse.SparseGrad`
+    instead of dense scatter-adds; a dense contribution to the same
+    parameter densifies the accumulated gradient automatically.
+
+    :attr:`_catch_up`, when set by a lazy row-sparse optimizer, is
+    called with the requested row ids at the top of :meth:`gather_rows`
+    so deferred updates to exactly those rows are settled *before* the
+    forward pass reads them — the dense path computes gradients from
+    fully-updated parameters, and bit-identity requires the sparse path
+    to observe the same values.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "sparse_grad",
+        "_backward",
+        "_parents",
+        "_catch_up",
+    )
 
     # Make numpy defer mixed ndarray/Tensor arithmetic to the reflected
     # operators below instead of trying to coerce the Tensor itself.
@@ -97,7 +119,9 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self.grad: np.ndarray | None = None
+        self.sparse_grad = False
+        self._catch_up: Callable[[np.ndarray], None] | None = None
+        self.grad: np.ndarray | SparseGrad | None = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
 
@@ -151,11 +175,25 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray | SparseGrad) -> None:
         if not self.requires_grad:
+            return
+        if isinstance(grad, SparseGrad):
+            # Row-sparse contribution (from a sparse-flagged row lookup).
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, SparseGrad):
+                self.grad = self.grad.merged_with(grad)
+            else:
+                grad.add_into_dense(self.grad)
             return
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
+        elif isinstance(self.grad, SparseGrad):
+            # Densify on mixed accumulation: a dense gradient reaches a
+            # parameter that already holds a sparse one (e.g. the entity
+            # table used both through a lookup and as a matmul operand).
+            self.grad = self.grad.to_dense()
         self.grad += grad
 
     def zero_grad(self) -> None:
@@ -351,6 +389,15 @@ class Tensor:
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
+        if (
+            self.sparse_grad
+            and isinstance(index, np.ndarray)
+            and index.ndim == 1
+            and np.issubdtype(index.dtype, np.integer)
+        ):
+            # Route 1-D integer-array row lookups through the sparse-grad
+            # primitive (e.g. ConvE's per-entity bias vector).
+            return self.gather_rows(index)
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
@@ -365,14 +412,30 @@ class Tensor:
 
         Equivalent to ``self[indices]`` for a 1-D integer index array but
         kept as a named method because it is the hottest op in KGE training.
+        When :attr:`sparse_grad` is set, the backward pass emits a
+        deduplicated :class:`SparseGrad` instead of scatter-adding into a
+        dense zero array — bitwise the same per-row sums, without the
+        ``(num_rows, dim)`` materialisation.
         """
         indices = np.asarray(indices, dtype=np.int64)
+        if self._catch_up is not None:
+            # A lazy optimizer has deferred updates on this parameter:
+            # settle the rows being read so the forward pass (and hence
+            # the gradient) matches the dense path bit for bit.
+            self._catch_up(indices)
         out_data = self.data[indices]
 
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, indices, grad)
-            self._accumulate(full)
+        if self.sparse_grad:
+
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(SparseGrad.from_indices(indices, grad, self.shape))
+
+        else:
+
+            def backward(grad: np.ndarray) -> None:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices, grad)
+                self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
 

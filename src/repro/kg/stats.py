@@ -219,8 +219,12 @@ class GraphStatistics:
 
     def _as_array(self, mapping: dict[int, float]) -> np.ndarray:
         out = np.zeros(self.triples.num_entities, dtype=np.float64)
-        for node, value in mapping.items():
-            out[node] = value
+        if mapping:
+            # Bulk fancy-index assignment instead of a per-node Python
+            # loop; dict key/value views iterate in matching order.
+            nodes = np.fromiter(mapping.keys(), dtype=np.int64, count=len(mapping))
+            values = np.fromiter(mapping.values(), dtype=np.float64, count=len(mapping))
+            out[nodes] = values
         return out
 
     def _cached(self, key: str, compute) -> np.ndarray | float:

@@ -172,6 +172,16 @@ class KGEModel(Module):
         TransE overrides this to renormalise entity embeddings.
         """
 
+    def sparse_entity_parameters(self) -> tuple:
+        """Parameters eligible for the row-sparse gradient fast path.
+
+        These are the per-entity tables indexed by gathered id arrays
+        during scoring; the training loop toggles their ``sparse_grad``
+        flag when :attr:`TrainConfig.sparse_grads` enables the fast
+        path.  ConvE extends this with its per-entity output bias.
+        """
+        return (self.entity_embeddings.weight,)
+
     def config_options(self) -> dict:
         """Model-specific constructor options, for checkpointing.
 

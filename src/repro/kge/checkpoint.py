@@ -28,14 +28,20 @@ __all__ = ["save_model", "load_model"]
 _HEADER_KEY = "__repro_header__"
 
 
-def save_model(model: KGEModel, path: Path | str) -> None:
+def save_model(model: KGEModel, path: Path | str, optimizer=None) -> None:
     """Serialise a model (architecture + parameters) to ``path``.
 
     The file is a standard ``.npz`` archive and can be inspected with
     ``numpy.load``.  The write is atomic: readers never observe a
     partially-written checkpoint, and a crash mid-save leaves any
     previous checkpoint at ``path`` intact.
+
+    When checkpointing mid-training with a lazy sparse optimizer (SGD
+    with momentum, Adam on row-sparse grads), pass the ``optimizer`` so
+    deferred row updates are flushed before the parameters are read.
     """
+    if optimizer is not None:
+        optimizer.flush()
     payload = model.state_dict()
     if _HEADER_KEY in payload:
         raise ValueError(f"parameter name collides with header key {_HEADER_KEY!r}")

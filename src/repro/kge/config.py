@@ -43,6 +43,16 @@ class TrainConfig:
     or BCE loss on corrupted triples), ``"kvsall"`` (BCE against all
     entities per (s, r) query, ConvE-style), or ``"1vsall"`` (softmax
     cross-entropy where the true object competes with every entity).
+
+    ``sparse_grads`` selects the row-sparse embedding fast path:
+    ``"auto"`` (default) enables it for entity embeddings under the
+    negative-sampling job — the only regime where entity gradients are
+    actually row-sparse — except where a lazy optimizer meets a
+    per-batch parameter hook and the fast path cannot win (see
+    ``repro.kge.training._enable_sparse_grads``); ``"on"`` forces the
+    flag regardless of job, and ``"off"`` keeps the classic dense
+    accumulation everywhere.  All three settings train to bit-identical
+    parameters.
     """
 
     job: str = "negative_sampling"
@@ -52,6 +62,8 @@ class TrainConfig:
     lr: float = 0.05
     lr_decay: float = 1.0
     optimizer: str = "adam"
+    momentum: float = 0.0
+    sparse_grads: str = "auto"
     num_negatives: int = 8
     margin: float = 1.0
     adversarial_temperature: float = 1.0
@@ -73,6 +85,12 @@ class TrainConfig:
             raise ValueError("batch_size must be >= 1")
         if not 0.0 < self.lr_decay <= 1.0:
             raise ValueError("lr_decay must be in (0, 1]")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.sparse_grads not in ("auto", "on", "off"):
+            raise ValueError(
+                f"sparse_grads must be 'auto', 'on' or 'off', got {self.sparse_grads!r}"
+            )
 
     def with_(self, **changes) -> "TrainConfig":
         """Return a copy with the given fields replaced."""

@@ -98,6 +98,11 @@ class ConvE(KGEModel):
         o = np.asarray(o, dtype=np.int64)
         return (hidden * o_e).sum(axis=-1) + self.entity_bias[o]
 
+    def sparse_entity_parameters(self) -> tuple:
+        # The per-entity output bias is gathered with the same id arrays
+        # as the entity table, so it rides the row-sparse path too.
+        return (self.entity_embeddings.weight, self.entity_bias)
+
     def config_options(self) -> dict:
         return {
             "num_filters": self.num_filters,

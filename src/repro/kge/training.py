@@ -13,6 +13,16 @@ Three regimes, selected by :class:`~repro.kge.config.TrainConfig.job`:
 All optimisation uses the optimizers from :mod:`repro.autograd.optim`;
 the paper trains everything with Adam.
 
+Sparse fast path: ``TrainConfig.sparse_grads`` ("auto" by default)
+flips the entity tables named by ``model.sparse_entity_parameters()``
+into row-sparse gradient accumulation for the negative-sampling job,
+where a batch touches a few hundred of thousands of rows.  Lazy
+optimizers (SGD with momentum, Adam) are flushed at every epoch
+boundary — before guard inspection, lr decay, evaluation, and early
+stopping — and after every batch for models whose ``post_batch_hook``
+mutates parameters directly (TransE's row renormalisation).  The sparse
+and dense paths produce bit-identical models.
+
 Fault tolerance: passing a :class:`~repro.resilience.GuardConfig` arms
 per-epoch divergence guards (NaN/Inf loss, loss explosion,
 gradient-norm and parameter sanity).  Depending on the policy a tripped
@@ -80,8 +90,38 @@ def _make_optimizer(model: KGEModel, config: TrainConfig) -> Optimizer:
     if config.optimizer == "adagrad":
         return Adagrad(params, lr=config.lr)
     if config.optimizer == "sgd":
-        return SGD(params, lr=config.lr)
+        return SGD(params, lr=config.lr, momentum=config.momentum)
     raise KeyError(f"unknown optimizer {config.optimizer!r}")
+
+
+def _enable_sparse_grads(model: KGEModel, config: TrainConfig) -> None:
+    """Flip entity-table parameters into row-sparse accumulation.
+
+    ``"auto"`` restricts the fast path to the negative-sampling job: the
+    kvsall/1vsall regimes score against *all* entities, so their entity
+    gradients are inherently dense and the flag would only add a
+    densify round-trip per step.  It also skips the combination of a
+    lazy optimizer (Adam, SGD with momentum) with a model whose
+    ``post_batch_hook`` mutates parameters directly (TransE): that hook
+    forces a full ``flush()`` per batch, turning the lazy catch-up into
+    a whole-table replay every step — strictly slower than the fused
+    dense sweep.  ``"on"`` forces the flag regardless (still
+    bit-identical, just not faster there).
+    """
+    lazy_optimizer = config.optimizer == "adam" or (
+        config.optimizer == "sgd" and config.momentum > 0.0
+    )
+    batch_flush = type(model).post_batch_hook is not KGEModel.post_batch_hook
+    enable = config.sparse_grads == "on" or (
+        config.sparse_grads == "auto"
+        and config.job == "negative_sampling"
+        and not (lazy_optimizer and batch_flush)
+    )
+    for param in model.sparse_entity_parameters():
+        param.sparse_grad = enable
+        # Drop any catch-up hook left by a previous training run's
+        # optimizer; the new optimizer re-attaches on engagement.
+        param._catch_up = None
 
 
 def _negative_sampling_epoch(
@@ -92,6 +132,7 @@ def _negative_sampling_epoch(
     optimizer: Optimizer,
     config: TrainConfig,
     rng: np.random.Generator,
+    batch_flush: bool = False,
 ) -> float:
     triples = graph.train.array
     order = rng.permutation(len(triples))
@@ -126,6 +167,10 @@ def _negative_sampling_epoch(
             )
         loss.backward()
         optimizer.step()
+        if batch_flush:
+            # The hook below mutates parameters in place (e.g. TransE's
+            # row renormalisation), so lazy rows must be settled first.
+            optimizer.flush()
         model.post_batch_hook()
         total += loss.item()
         batches += 1
@@ -156,6 +201,7 @@ def _kvsall_epoch(
     optimizer: Optimizer,
     config: TrainConfig,
     rng: np.random.Generator,
+    batch_flush: bool = False,
 ) -> float:
     order = rng.permutation(len(queries))
     total = 0.0
@@ -173,6 +219,8 @@ def _kvsall_epoch(
         loss = loss_fn(logits, targets)
         loss.backward()
         optimizer.step()
+        if batch_flush:
+            optimizer.flush()
         model.post_batch_hook()
         total += loss.item()
         batches += 1
@@ -186,6 +234,7 @@ def _one_vs_all_epoch(
     optimizer: Optimizer,
     config: TrainConfig,
     rng: np.random.Generator,
+    batch_flush: bool = False,
 ) -> float:
     from .losses import SoftmaxCrossEntropyLoss
 
@@ -201,6 +250,8 @@ def _one_vs_all_epoch(
         loss = loss_fn(logits, batch[:, 2])
         loss.backward()
         optimizer.step()
+        if batch_flush:
+            optimizer.flush()
         model.post_batch_hook()
         total += loss.item()
         batches += 1
@@ -222,6 +273,10 @@ def train_model(
     """
     rng = np.random.default_rng(config.seed)
     result = TrainingResult(model=model)
+    _enable_sparse_grads(model, config)
+    # Models whose post-batch hook mutates parameters directly (TransE's
+    # row renormalisation) need lazy optimizer rows settled every batch.
+    batch_flush = type(model).post_batch_hook is not KGEModel.post_batch_hook
 
     sampler: NegativeSampler | None = None
     if config.job == "negative_sampling":
@@ -244,7 +299,8 @@ def train_model(
 
         def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
             return _negative_sampling_epoch(
-                model, graph, epoch_sampler, loss_fn, optimizer, config, epoch_rng
+                model, graph, epoch_sampler, loss_fn, optimizer, config, epoch_rng,
+                batch_flush=batch_flush,
             )
 
     elif config.job == "kvsall":
@@ -255,7 +311,8 @@ def train_model(
 
         def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
             return _kvsall_epoch(
-                model, queries, answers, loss_fn, optimizer, config, epoch_rng
+                model, queries, answers, loss_fn, optimizer, config, epoch_rng,
+                batch_flush=batch_flush,
             )
 
     else:  # 1vsall
@@ -267,7 +324,8 @@ def train_model(
 
         def run_epoch(epoch_rng: np.random.Generator, epoch_sampler) -> float:
             return _one_vs_all_epoch(
-                model, graph, loss_fn, optimizer, config, epoch_rng
+                model, graph, loss_fn, optimizer, config, epoch_rng,
+                batch_flush=batch_flush,
             )
 
     optimizer = _make_optimizer(model, config)
@@ -296,6 +354,10 @@ def train_model(
                 else None
             )
         mean_loss = run_epoch(epoch_rng, epoch_sampler)
+        # Settle lazily-deferred sparse rows before anything reads or
+        # perturbs state: guard inspection, lr decay, evaluation.  The
+        # replay is exact, so flushing here cannot change the final bits.
+        optimizer.flush()
 
         event = (
             guard_state.inspect(epoch, attempt, mean_loss, model, optimizer)

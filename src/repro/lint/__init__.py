@@ -19,6 +19,8 @@ RPR004    backward-closure completeness (``_unbroadcast`` / guards)
 RPR005    ``__all__`` ↔ public-def consistency
 RPR006    float64 dtype hygiene, mutable defaults, bare ``except``
 RPR007    resilience — no swallowed broad excepts; atomic binary writes
+RPR008    sparse-grad safety — dense ``.grad`` reads in kge/autograd
+          must handle ``SparseGrad``, densify, or ``flush()`` first
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -47,6 +49,7 @@ from . import (
     rules_hygiene,
     rules_resilience,
     rules_rng,
+    rules_sparse,
     rules_tape,
     rules_tensor,
 )
@@ -73,6 +76,7 @@ __all__ = [
     "rules_hygiene",
     "rules_resilience",
     "rules_rng",
+    "rules_sparse",
     "rules_tape",
     "rules_tensor",
 ]

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..autograd.sparse import SparseGrad
+
 if TYPE_CHECKING:  # import-light: guards must not drag in the kge package
     from ..autograd import Module, Optimizer
 
@@ -103,6 +105,20 @@ class GuardReport:
         }
 
 
+def _copy_state_item(item: object) -> object:
+    """Deep-copy one list element of optimizer state.
+
+    Sparse optimizers keep per-parameter lists mixing ``None`` (lazy path
+    not engaged), int64 row counters, plain ints, and bias-correction
+    schedules (lists of floats) alongside the classic moment arrays.
+    """
+    if isinstance(item, np.ndarray):
+        return item.copy()
+    if isinstance(item, list):
+        return list(item)
+    return item
+
+
 def _optimizer_state(optimizer: "Optimizer") -> dict[str, object]:
     """Copy the optimizer's mutable numeric state (moments, counters)."""
     state: dict[str, object] = {}
@@ -112,9 +128,10 @@ def _optimizer_state(optimizer: "Optimizer") -> dict[str, object]:
         if isinstance(value, np.ndarray):
             state[name] = value.copy()
         elif isinstance(value, list) and all(
-            isinstance(item, np.ndarray) for item in value
+            item is None or isinstance(item, (np.ndarray, list, int, float))
+            for item in value
         ):
-            state[name] = [item.copy() for item in value]
+            state[name] = [_copy_state_item(item) for item in value]
         elif isinstance(value, (int, float)):
             state[name] = value
     return state
@@ -125,8 +142,11 @@ def _restore_optimizer(optimizer: "Optimizer", state: dict[str, object]) -> None
         if isinstance(value, np.ndarray):
             getattr(optimizer, name)[...] = value
         elif isinstance(value, list):
-            for live, saved in zip(getattr(optimizer, name), value):
-                live[...] = saved
+            # Replace wholesale with fresh copies: list entries may have
+            # changed shape or been allocated since the snapshot (lazy
+            # row counters engage mid-run), and the saved copy must stay
+            # pristine for repeated restores.
+            setattr(optimizer, name, [_copy_state_item(item) for item in value])
         else:
             setattr(optimizer, name, value)
 
@@ -136,10 +156,14 @@ def gradient_norm(optimizer: "Optimizer") -> float:
     total = 0.0
     seen = False
     for param in optimizer.params:
-        if param.grad is None:
+        grad = param.grad
+        if grad is None:
             continue
         seen = True
-        total += float(np.sum(np.square(param.grad)))
+        if isinstance(grad, SparseGrad):
+            total += grad.norm_squared()
+        else:
+            total += float(np.sum(np.square(grad)))
     return math.sqrt(total) if seen else float("nan")
 
 

@@ -158,3 +158,23 @@ class TestGraphStatistics:
     def test_degree_sums_to_twice_edges(self, tiny_graph):
         stats = GraphStatistics(tiny_graph.train)
         assert stats.degree.sum() == stats.adjacency.nnz
+
+
+class TestAsArray:
+    def test_matches_per_node_python_loop(self, tiny_graph):
+        stats = GraphStatistics(tiny_graph.train)
+        rng = np.random.default_rng(13)
+        nodes = rng.choice(tiny_graph.num_entities, size=17, replace=False)
+        mapping = {int(node): float(rng.standard_normal()) for node in nodes}
+
+        reference = np.zeros(tiny_graph.num_entities, dtype=np.float64)
+        for node, value in mapping.items():
+            reference[node] = value
+        np.testing.assert_array_equal(stats._as_array(mapping), reference)
+
+    def test_empty_mapping_gives_zeros(self, tiny_graph):
+        stats = GraphStatistics(tiny_graph.train)
+        out = stats._as_array({})
+        assert out.shape == (tiny_graph.num_entities,)
+        assert out.dtype == np.float64
+        assert not out.any()

@@ -204,8 +204,11 @@ def _poison_epochs(monkeypatch, poison_calls, kind="loss"):
     real_epoch = training._kvsall_epoch
     calls = {"count": 0}
 
-    def wrapper(model, queries, answers, loss_fn, optimizer, config, rng):
-        loss = real_epoch(model, queries, answers, loss_fn, optimizer, config, rng)
+    def wrapper(model, queries, answers, loss_fn, optimizer, config, rng, batch_flush=False):
+        loss = real_epoch(
+            model, queries, answers, loss_fn, optimizer, config, rng,
+            batch_flush=batch_flush,
+        )
         calls["count"] += 1
         if calls["count"] in poison_calls:
             if kind == "params":
@@ -322,11 +325,14 @@ class TestTrainingGuards:
         seen_rngs = []
         calls = {"count": 0}
 
-        def wrapper(model, graph, sampler, loss_fn, optimizer, config, rng):
+        def wrapper(
+            model, graph, sampler, loss_fn, optimizer, config, rng, batch_flush=False
+        ):
             calls["count"] += 1
             seen_rngs.append(sampler.rng)
             loss = real_epoch(
-                model, graph, sampler, loss_fn, optimizer, config, rng
+                model, graph, sampler, loss_fn, optimizer, config, rng,
+                batch_flush=batch_flush,
             )
             return float("nan") if calls["count"] == 2 else loss
 

@@ -1,0 +1,24 @@
+"""Fixture: dense reads of possibly-sparse gradients (RPR008).
+
+Inside ``repro.kge`` a parameter's ``.grad`` may hold a ``SparseGrad``;
+these helpers index it, multiply it, and hand it to numpy without any
+sparse handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grad_norm", "clip_first_row", "scaled"]
+
+
+def grad_norm(param) -> float:
+    return float(np.sum(np.square(param.grad)))
+
+
+def clip_first_row(param) -> None:
+    param.grad[0] = 0.0
+
+
+def scaled(param, factor: float) -> np.ndarray:
+    return factor * param.grad

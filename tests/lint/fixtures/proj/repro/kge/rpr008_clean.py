@@ -1,0 +1,33 @@
+"""Fixture: sparse-aware gradient reads (RPR008-clean).
+
+Each helper either dispatches on ``SparseGrad``, settles optimizer state
+with ``flush()``, or only tests ``.grad`` against ``None`` — none of
+which assume a dense array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.sparse import SparseGrad
+
+__all__ = ["grad_norm", "settled_grad", "has_grad"]
+
+
+def grad_norm(param) -> float:
+    grad = param.grad
+    if isinstance(grad, SparseGrad):
+        return float(np.sqrt(grad.norm_squared()))
+    return float(np.sqrt(np.sum(np.square(grad))))
+
+
+def settled_grad(optimizer, param) -> np.ndarray:
+    optimizer.flush()
+    grad = param.grad
+    if isinstance(grad, SparseGrad):
+        return grad.to_dense()
+    return np.array(grad, dtype=np.float64)
+
+
+def has_grad(param) -> bool:
+    return param.grad is not None

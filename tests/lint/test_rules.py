@@ -1,9 +1,9 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR007 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR008 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
-The scoped rules (RPR002/RPR004/RPR007) live under a fake package tree in
+The scoped rules (RPR002/RPR004/RPR007/RPR008) live under a fake package tree in
 ``fixtures/proj`` so module-name derivation resolves them into the
 ``repro.*`` namespaces the rules watch.
 """
@@ -43,6 +43,12 @@ CASES = [
         "proj/repro/kge/rpr007_bad.py",
         "proj/repro/kge/rpr007_clean.py",
         4,
+    ),
+    (
+        "RPR008",
+        "proj/repro/kge/rpr008_bad.py",
+        "proj/repro/kge/rpr008_clean.py",
+        3,
     ),
 ]
 

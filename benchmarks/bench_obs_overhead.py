@@ -1,0 +1,188 @@
+"""Observability overhead — spans + counters on the discovery hot path.
+
+The obs layer is designed to be left in the code permanently: every
+``span()`` and counter call sits on the training and discovery hot
+paths, guarded only by the registry's ``enabled`` flag (the default
+``NullRegistry`` short-circuits everything to no-ops).
+
+The pipeline under test (``discover_facts`` on the FB15K-237 replica)
+runs in ~50ms, where machine noise between two timings of *literally the
+same code path* exceeds 2% — so a macro A/B timing cannot resolve a 1%
+budget.  The disabled-mode gate is therefore derived from first
+principles and is fully stable:
+
+1. micro-time one disabled ``span()`` entry/exit and one ``NullRegistry``
+   counter increment (tight loops, amortised per call), then
+2. count how many instrumentation hits one pipeline run actually
+   performs (an enabled registry records exactly that), and
+3. assert hits x per-call cost < 1% of the measured pipeline runtime,
+   with the counter traffic over-counted 10x for safety.
+
+The macro timings (baseline vs. enabled registry vs. disabled re-run)
+are still measured — interleaved, order-rotated, GC-fenced — and
+reported for the human reader, and the bit-identity contract is checked
+on their outputs: telemetry must never perturb discovered facts.
+
+The measurements are written to
+``benchmarks/results/BENCH_obs.json`` as a committed artefact.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+
+import numpy as np
+from common import RESULTS_DIR, save_and_print
+
+from repro.discovery import discover_facts
+from repro.experiments import format_table, get_trained_model
+from repro.kg import load_dataset
+from repro.obs import MetricsRegistry, flatten_spans, get_registry, span, use_registry
+
+#: Overhead budget for the disabled (default) configuration.
+DISABLED_BUDGET = 0.01
+
+#: Safety factor on counter increments in the derived bound: each span
+#: hit is charged ten null-counter calls, far above the real call rate.
+COUNTER_CALLS_PER_SPAN = 10
+
+#: Tight-loop iterations for the per-call micro timings.
+MICRO_ITERATIONS = 20_000
+
+
+def _pipeline(graph, model):
+    return discover_facts(
+        model, graph, strategy="entity_frequency", top_n=50,
+        max_candidates=500, seed=0,
+    )
+
+
+def _per_call_costs():
+    """Amortised seconds per disabled span() and per null counter inc()."""
+    t0 = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with span("bench.noop"):
+            pass
+    per_span = (time.perf_counter() - t0) / MICRO_ITERATIONS
+
+    null = get_registry()
+    counter = null.counter("bench.noop_count")
+    t0 = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        counter.inc()
+    per_inc = (time.perf_counter() - t0) / MICRO_ITERATIONS
+    return per_span, per_inc
+
+
+def _time_interleaved(fns, repeats: int = 9):
+    """Best-of-N wall-clock per function, measured round-robin.
+
+    The variant order rotates every round so no variant systematically
+    inherits a warm or cold position, and a ``gc.collect()`` precedes
+    every sample so one variant's garbage is never timed against
+    another.  Still only indicative at the ~2% level — see module
+    docstring.
+    """
+    count = len(fns)
+    best = [float("inf")] * count
+    values = [None] * count
+    for round_no in range(repeats):
+        for offset in range(count):
+            i = (round_no + offset) % count
+            gc.collect()
+            t0 = time.perf_counter()
+            values[i] = fns[i]()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best, values
+
+
+def test_obs_overhead():
+    assert not get_registry().enabled, "bench expects obs disabled by default"
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+
+    # Warm everything (strategy caches, BLAS threads) before timing.
+    _pipeline(graph, model)
+
+    registry = MetricsRegistry()
+
+    def enabled_run():
+        with use_registry(registry):
+            return _pipeline(graph, model)
+
+    (baseline_s, enabled_s, disabled_s), (baseline, enabled, disabled) = (
+        _time_interleaved(
+            [lambda: _pipeline(graph, model), enabled_run,
+             lambda: _pipeline(graph, model)]
+        )
+    )
+
+    # Telemetry never perturbs results: facts and ranks are bit-identical
+    # whether or not a registry is listening.
+    np.testing.assert_array_equal(baseline.facts, enabled.facts)
+    np.testing.assert_array_equal(baseline.facts, disabled.facts)
+    np.testing.assert_array_equal(baseline.ranks, enabled.ranks)
+
+    # The enabled registry recorded the whole pipeline; its span counts
+    # are an exact census of the instrumentation hits per run.
+    snapshot = registry.snapshot()
+    spans = snapshot["spans"]
+    assert "discover" in spans and "rank" in spans["discover"]["children"]
+    runs_recorded = spans["discover"]["count"]
+    span_hits = sum(
+        node["count"] for node in flatten_spans(spans).values()
+    ) / runs_recorded
+
+    per_span, per_inc = _per_call_costs()
+    disabled_cost_s = span_hits * (per_span + COUNTER_CALLS_PER_SPAN * per_inc)
+    disabled_overhead = disabled_cost_s / baseline_s
+
+    assert disabled_overhead < DISABLED_BUDGET
+
+    enabled_overhead = enabled_s / baseline_s - 1.0
+    noise_floor = disabled_s / baseline_s - 1.0  # same code path twice
+
+    rows = [
+        {"run": "baseline (obs disabled)", "runtime_s": round(baseline_s, 4),
+         "overhead": "-"},
+        {"run": "MetricsRegistry enabled", "runtime_s": round(enabled_s, 4),
+         "overhead": f"{enabled_overhead:+.2%}"},
+        {"run": "obs disabled (re-run, noise floor)",
+         "runtime_s": round(disabled_s, 4), "overhead": f"{noise_floor:+.2%}"},
+        {"run": "disabled bound (derived, asserted <1%)",
+         "runtime_s": round(disabled_cost_s, 6),
+         "overhead": f"{disabled_overhead:+.3%}"},
+    ]
+
+    payload = {
+        "dataset": "fb15k237-like",
+        "model": "distmult",
+        "pipeline": "discover_facts(entity_frequency, top_n=50)",
+        "baseline_seconds": baseline_s,
+        "enabled_seconds": enabled_s,
+        "disabled_rerun_seconds": disabled_s,
+        "noise_floor_fraction": noise_floor,
+        "enabled_overhead_fraction": enabled_overhead,
+        "span_hits_per_run": span_hits,
+        "per_disabled_span_seconds": per_span,
+        "per_null_counter_inc_seconds": per_inc,
+        "counter_calls_charged_per_span": COUNTER_CALLS_PER_SPAN,
+        "disabled_overhead_bound_fraction": disabled_overhead,
+        "disabled_budget": DISABLED_BUDGET,
+        "bit_identical_facts": True,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    save_and_print(
+        "obs_overhead",
+        format_table(
+            rows,
+            title="Observability overhead on discovery "
+            "(fb15k237-like, distmult, best of 9)",
+        ),
+    )

@@ -2,7 +2,7 @@
 
 Algorithm 1's mesh-grid candidates share only ~``⌊√max_candidates⌋ + 10``
 unique ``(s, r)`` queries per relation, so the legacy chunked path
-(:func:`repro.kge.compute_ranks_reference`) recomputes each shared
+(:func:`repro.kge.evaluation.compute_ranks_reference`) recomputes each shared
 1-vs-all score row ~``sample_size`` times.  :class:`repro.kge.RankingEngine`
 scores every unique query exactly once and reuses the row for all of its
 candidates.  This benchmark verifies the two paths are *bit-identical*
@@ -34,7 +34,8 @@ from common import (
 from repro.discovery import discover_facts
 from repro.experiments import format_table, get_trained_model
 from repro.kg import load_dataset
-from repro.kge import RankingEngine, compute_ranks_reference
+from repro.kge import RankingEngine
+from repro.kge.evaluation import compute_ranks_reference
 
 
 class _ReferenceEngine:

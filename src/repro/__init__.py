@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from .discovery import (
+    DiscoveryConfig,
     DiscoveryResult,
     RuleFilter,
     available_strategies,
@@ -43,11 +44,22 @@ from .kge import (
     ModelConfig,
     TrainConfig,
     available_models,
+    compute_ranks,
     create_model,
     evaluate_ranking,
     fit,
     load_model,
     save_model,
+    train_model,
+)
+from .obs import (
+    MetricsRegistry,
+    disable_observability,
+    enable_observability,
+    get_registry,
+    span,
+    use_registry,
+    write_snapshot,
 )
 
 __version__ = "1.0.0"
@@ -62,8 +74,11 @@ __all__ = [
     "available_models",
     "ModelConfig",
     "TrainConfig",
+    "DiscoveryConfig",
     "fit",
+    "train_model",
     "evaluate_ranking",
+    "compute_ranks",
     "discover_facts",
     "exhaustive_discover_facts",
     "heldout_discovery_protocol",
@@ -77,4 +92,11 @@ __all__ = [
     "load_dataset_dir",
     "save_model",
     "load_model",
+    "MetricsRegistry",
+    "span",
+    "get_registry",
+    "use_registry",
+    "enable_observability",
+    "disable_observability",
+    "write_snapshot",
 ]

@@ -42,6 +42,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..obs import get_registry, span
 from .sparse import SparseGrad
 from .tensor import Tensor
 
@@ -71,6 +72,14 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def _observe_step(self) -> None:
+        """Tally one optimizer step in the active metrics registry.
+
+        Subclasses call this at the top of ``step()``; against the null
+        backend it is two no-op calls, cheap enough for the hot loop.
+        """
+        get_registry().counter("optim.steps_count").inc()
+
     def flush(self) -> None:
         """Settle all lazily-deferred row updates.
 
@@ -98,6 +107,7 @@ class SGD(Optimizer):
         self._last: list[np.ndarray | None] = [None] * len(self.params)
 
     def step(self) -> None:
+        self._observe_step()
         mu = self.momentum
         for i, (param, velocity) in enumerate(zip(self.params, self._velocity)):
             grad = param.grad
@@ -145,12 +155,13 @@ class SGD(Optimizer):
     def flush(self) -> None:
         if self.momentum == 0.0:
             return
-        for i, (param, velocity) in enumerate(zip(self.params, self._velocity)):
-            last = self._last[i]
-            if last is None:
-                continue
-            self._replay(param.data, velocity, last, None, self._pt[i])
-            last[:] = self._pt[i]
+        with span("optim.flush"):
+            for i, (param, velocity) in enumerate(zip(self.params, self._velocity)):
+                last = self._last[i]
+                if last is None:
+                    continue
+                self._replay(param.data, velocity, last, None, self._pt[i])
+                last[:] = self._pt[i]
 
     def _catch_up_rows(self, i: int, rows: np.ndarray) -> None:
         """Settle specific rows ahead of a forward-pass gather."""
@@ -215,6 +226,7 @@ class Adagrad(Optimizer):
         self._accum = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        self._observe_step()
         for param, accum in zip(self.params, self._accum):
             grad = param.grad
             if grad is None:
@@ -275,6 +287,7 @@ class Adam(Optimizer):
         self._scratch: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def step(self) -> None:
+        self._observe_step()
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
@@ -298,12 +311,13 @@ class Adam(Optimizer):
                     last[:] = self._pt[i]
 
     def flush(self) -> None:
-        for i, (param, m, v) in enumerate(zip(self.params, self._m, self._v)):
-            last = self._last[i]
-            if last is None:
-                continue
-            self._replay(i, param, m, v, None, self._pt[i])
-            last[:] = self._pt[i]
+        with span("optim.flush"):
+            for i, (param, m, v) in enumerate(zip(self.params, self._m, self._v)):
+                last = self._last[i]
+                if last is None:
+                    continue
+                self._replay(i, param, m, v, None, self._pt[i])
+                last[:] = self._pt[i]
 
     def _catch_up_rows(self, i: int, rows: np.ndarray) -> None:
         """Settle specific rows ahead of a forward-pass gather."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -61,6 +62,28 @@ from .kge import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+@contextmanager
+def _metrics_sink(path: str | None):
+    """Enable observability for one command and write the snapshot on exit.
+
+    A fresh registry keeps the snapshot scoped to this command (nothing
+    from imports or earlier runs leaks in).  The snapshot is written even
+    when the command fails, so a crashed run still leaves its telemetry.
+    """
+    if path is None:
+        yield
+        return
+    from .obs import MetricsRegistry, use_registry, write_snapshot
+
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            yield
+    finally:
+        write_snapshot(registry, path)
+        print(f"metrics snapshot written to {path}")
 
 
 def _load_graph(name: str) -> KnowledgeGraph:
@@ -461,6 +484,30 @@ def _cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Re-render a ``--metrics-out`` snapshot in another exporter format."""
+    import json
+
+    from .obs import EXPORTER_FORMATS
+
+    path = Path(args.snapshot)
+    if not path.is_file():
+        raise SystemExit(f"error: no snapshot at {args.snapshot}")
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"error: {args.snapshot} is not a JSON metrics snapshot ({error})"
+        )
+    text = EXPORTER_FORMATS[args.format](snapshot)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import main as lint_main
 
@@ -499,6 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--max-cell-attempts", type=int, default=3,
                            help="times a cell may be started (crashes count) "
                                 "before it is reported as failed")
+    reproduce.add_argument("--metrics-out", default=None, metavar="PATH",
+                           help="write a JSON metrics/span snapshot of the "
+                                "run (re-render with `repro obs`)")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     analyze = sub.add_parser("analyze", help="structural report of a dataset")
@@ -522,6 +572,9 @@ def build_parser() -> argparse.ArgumentParser:
     protocol.add_argument("--top-n", type=int, default=50)
     protocol.add_argument("--max-candidates", type=int, default=500)
     protocol.add_argument("--seed", type=int, default=0)
+    protocol.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="write a JSON metrics/span snapshot of the "
+                               "run (re-render with `repro obs`)")
     protocol.set_defaults(func=_cmd_protocol)
 
     train = sub.add_parser("train", help="train a model and save a checkpoint")
@@ -544,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "epoch with re-seeded negatives)")
     train.add_argument("--max-epoch-retries", type=int, default=2)
     train.add_argument("-o", "--output", default="model.npz")
+    train.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics/span snapshot of the "
+                            "run (re-render with `repro obs`)")
     train.set_defaults(func=_cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="link-prediction metrics of a checkpoint")
@@ -568,6 +624,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="facts to print (0 = all)")
     discover.add_argument("-o", "--output", default=None,
                           help="write facts as TSV instead of printing")
+    discover.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="write a JSON metrics/span snapshot of the "
+                               "run (re-render with `repro obs`)")
     discover.set_defaults(func=_cmd_discover)
 
     compare = sub.add_parser("compare", help="compare sampling strategies")
@@ -597,6 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("journal", help="path to a JSONL run-journal")
     journal.set_defaults(func=_cmd_journal)
 
+    obs = sub.add_parser(
+        "obs", help="re-render a --metrics-out snapshot"
+    )
+    obs.add_argument("snapshot", help="path to a JSON metrics snapshot")
+    obs.add_argument("--format", choices=["json", "prometheus", "table"],
+                     default="table")
+    obs.add_argument("-o", "--output", default=None,
+                     help="write instead of printing")
+    obs.set_defaults(func=_cmd_obs)
+
     lint = sub.add_parser(
         "lint",
         help="domain-aware static analysis of the codebase",
@@ -614,7 +683,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _metrics_sink(getattr(args, "metrics_out", None)):
+        return args.func(args)
 
 
 if __name__ == "__main__":

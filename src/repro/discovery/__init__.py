@@ -14,6 +14,7 @@
 """
 
 from .anytime import AnytimeResult, anytime_discover
+from .config import DiscoveryConfig
 from .discover import MAX_GENERATION_ITERATIONS, DiscoveryResult, discover_facts
 from .exhaustive import exhaustive_discover_facts
 from .exploration import (
@@ -58,6 +59,7 @@ PAPER_STRATEGY_NAMES = (
 
 __all__ = [
     "discover_facts",
+    "DiscoveryConfig",
     "DiscoveryResult",
     "AnytimeResult",
     "anytime_discover",

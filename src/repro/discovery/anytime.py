@@ -22,7 +22,6 @@ found so far, and more budget monotonically extends the set.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +31,8 @@ from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
-from ..kge.ranking import RankingEngine
+from ..kge.ranking import RANKING_STATS_ALIASES, RankingEngine
+from ..obs import DeprecatedKeyDict, ReportableMixin, Stopwatch, get_registry, span
 from .strategies import SamplingStrategy, create_strategy
 
 __all__ = ["AnytimeResult", "anytime_discover"]
@@ -41,7 +41,7 @@ _SCHEDULERS = ("round_robin", "ucb")
 
 
 @dataclass
-class AnytimeResult:
+class AnytimeResult(ReportableMixin):
     """Facts accumulated within the budget plus per-relation accounting."""
 
     facts: np.ndarray
@@ -67,6 +67,26 @@ class AnytimeResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.num_facts / (self.elapsed_seconds / 3600.0)
+
+    def summary(self) -> dict[str, float]:
+        """Flat overview under canonical ``*_seconds``/``*_count`` keys."""
+        out = {
+            "scheduler": self.scheduler,
+            "facts_count": self.num_facts,
+            "mrr": self.mrr(),
+            "budget_seconds": self.budget_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "pulls_count": int(sum(self.pulls.values())),
+            "exhausted_count": int(sum(self.exhausted.values())),
+            "efficiency_facts_per_hour": self.facts_per_hour(),
+        }
+        aliases = {"num_facts": "facts_count"}
+        for legacy, value in self.ranking_stats.items():
+            canonical = RANKING_STATS_ALIASES.get(legacy, legacy)
+            out[canonical] = value
+            if canonical != legacy:
+                aliases[legacy] = canonical
+        return DeprecatedKeyDict(out, aliases, owner="AnytimeResult.summary()")
 
 
 class _RelationArm:
@@ -156,64 +176,75 @@ def anytime_discover(
 
     all_facts: list[np.ndarray] = []
     all_ranks: list[np.ndarray] = []
-    start = time.perf_counter()
+    registry = get_registry()
+    watch = Stopwatch()
     total_pulls = 0
     rr_cursor = 0
 
-    while time.perf_counter() - start < budget_seconds and total_pulls < max_pulls:
-        active = [arm for arm in arms.values() if not arm.exhausted]
-        if not active:
-            break
-        if scheduler == "round_robin":
-            arm = active[rr_cursor % len(active)]
-            rr_cursor += 1
-        else:
-            arm = max(
-                active, key=lambda a: a.ucb_score(total_pulls, exploration)
-            )
-        total_pulls += 1
+    with span("discover"):
+        while watch.elapsed_seconds < budget_seconds and total_pulls < max_pulls:
+            active = [arm for arm in arms.values() if not arm.exhausted]
+            if not active:
+                break
+            if scheduler == "round_robin":
+                arm = active[rr_cursor % len(active)]
+                rr_cursor += 1
+            else:
+                arm = max(
+                    active, key=lambda a: a.ucb_score(total_pulls, exploration)
+                )
+            total_pulls += 1
+            registry.counter("discover.pulls_count").inc()
 
-        subjects = strategy.sample(SUBJECT, sample_size, rng, relation=arm.relation)
-        objects = strategy.sample(OBJECT, sample_size, rng, relation=arm.relation)
-        s_grid, o_grid = np.meshgrid(subjects, objects, indexing="ij")
-        candidates = np.stack(
-            [
-                s_grid.ravel(),
-                np.full(s_grid.size, arm.relation, dtype=np.int64),
-                o_grid.ravel(),
-            ],
-            axis=1,
-        )
-        candidates = candidates[candidates[:, 0] != candidates[:, 2]]
-        candidates = candidates[~train.contains(candidates)]
-        # Vectorised cross-pull dedup against the arm's sorted key array
-        # (same semantics as the retired per-key Python loop).
-        keys = encode_keys(candidates, train.num_entities, train.num_relations)
-        fresh = ~np.isin(keys, arm.seen_keys)
-        candidates = candidates[fresh][:batch_candidates]
-        arm.seen_keys = np.union1d(
-            arm.seen_keys, keys[fresh][:batch_candidates]
-        )
+            with span("discover.generate"):
+                subjects = strategy.sample(
+                    SUBJECT, sample_size, rng, relation=arm.relation
+                )
+                objects = strategy.sample(
+                    OBJECT, sample_size, rng, relation=arm.relation
+                )
+                s_grid, o_grid = np.meshgrid(subjects, objects, indexing="ij")
+                candidates = np.stack(
+                    [
+                        s_grid.ravel(),
+                        np.full(s_grid.size, arm.relation, dtype=np.int64),
+                        o_grid.ravel(),
+                    ],
+                    axis=1,
+                )
+                candidates = candidates[candidates[:, 0] != candidates[:, 2]]
+                candidates = candidates[~train.contains(candidates)]
+                # Vectorised cross-pull dedup against the arm's sorted key
+                # array (same semantics as the retired per-key Python loop).
+                keys = encode_keys(candidates, train.num_entities, train.num_relations)
+                fresh = ~np.isin(keys, arm.seen_keys)
+                candidates = candidates[fresh][:batch_candidates]
+                arm.seen_keys = np.union1d(
+                    arm.seen_keys, keys[fresh][:batch_candidates]
+                )
+            registry.counter("discover.candidates_count").inc(len(candidates))
 
-        if len(candidates) == 0:
-            # Nothing new to try for this relation: retire the arm.
+            if len(candidates) == 0:
+                # Nothing new to try for this relation: retire the arm.
+                arm.pulls += 1
+                arm.exhausted = True
+                continue
+
+            with span("rank"):
+                with no_grad():
+                    ranks = engine.compute_ranks(
+                        model, candidates, filter_triples=train, side="object"
+                    )
+            keep = ranks <= top_n
+            accepted = int(keep.sum())
             arm.pulls += 1
-            arm.exhausted = True
-            continue
+            arm.total_reward += accepted / len(candidates)
+            registry.counter("discover.facts_count").inc(accepted)
+            if accepted:
+                all_facts.append(candidates[keep])
+                all_ranks.append(ranks[keep])
 
-        with no_grad():
-            ranks = engine.compute_ranks(
-                model, candidates, filter_triples=train, side="object"
-            )
-        keep = ranks <= top_n
-        accepted = int(keep.sum())
-        arm.pulls += 1
-        arm.total_reward += accepted / len(candidates)
-        if accepted:
-            all_facts.append(candidates[keep])
-            all_ranks.append(ranks[keep])
-
-    elapsed = time.perf_counter() - start
+    elapsed = watch.elapsed_seconds
     facts = (
         np.concatenate(all_facts, axis=0)
         if all_facts

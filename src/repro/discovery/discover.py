@@ -18,7 +18,6 @@ The implementation mirrors the pseudocode faithfully:
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,7 +27,16 @@ from ..kg.graph import KnowledgeGraph
 from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
-from ..kge.ranking import RankingEngine
+from ..kge.ranking import RANKING_STATS_ALIASES, RankingEngine
+from ..obs import (
+    DeprecatedKeyDict,
+    ReportableMixin,
+    flatten_spans,
+    get_registry,
+    span,
+    span_tree_delta,
+)
+from .config import DiscoveryConfig
 from .strategies import SamplingStrategy, create_strategy
 
 __all__ = ["DiscoveryResult", "discover_facts", "MAX_GENERATION_ITERATIONS"]
@@ -41,7 +49,7 @@ MAX_GENERATION_ITERATIONS = 5
 
 
 @dataclass
-class DiscoveryResult:
+class DiscoveryResult(ReportableMixin):
     """Output of one ``discover_facts`` run plus its runtime accounting."""
 
     facts: np.ndarray
@@ -55,6 +63,7 @@ class DiscoveryResult:
     weight_seconds: float
     per_relation: dict[int, int] = field(default_factory=dict)
     ranking_stats: dict[str, float] = field(default_factory=dict)
+    trace: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def num_facts(self) -> int:
@@ -114,24 +123,37 @@ class DiscoveryResult:
     def summary(self) -> dict[str, float]:
         """Flat metric dict for tables and benchmarks.
 
-        When the run went through a :class:`~repro.kge.ranking.RankingEngine`
-        the engine's instrumentation counters (``unique_queries``,
-        ``rows_scored``, ``rows_reused``, ``cache_hits``,
-        ``score_seconds``, ``filter_seconds``, …) are included.
+        Keys follow the canonical ``*_seconds``/``*_count`` naming; the
+        pre-observability names (``num_facts``, ``candidates_generated``,
+        raw :class:`~repro.kge.ranking.RankingStats` counters) still
+        resolve as deprecated aliases.  When the run went through a
+        :class:`~repro.kge.ranking.RankingEngine` the engine's counters
+        are included, and when observability was enabled the run's span
+        tree appears as flat ``span.<path>.wall_seconds`` scalars.
         """
         out = {
             "strategy": self.strategy,
-            "num_facts": self.num_facts,
+            "facts_count": self.num_facts,
             "mrr": self.mrr(),
             "runtime_seconds": self.runtime_seconds,
             "generation_seconds": self.generation_seconds,
             "ranking_seconds": self.ranking_seconds,
             "weight_seconds": self.weight_seconds,
             "efficiency_facts_per_hour": self.efficiency_facts_per_hour(),
-            "candidates_generated": self.candidates_generated,
+            "candidates_generated_count": self.candidates_generated,
         }
-        out.update(self.ranking_stats)
-        return out
+        aliases = {
+            "num_facts": "facts_count",
+            "candidates_generated": "candidates_generated_count",
+        }
+        for legacy, value in self.ranking_stats.items():
+            canonical = RANKING_STATS_ALIASES.get(legacy, legacy)
+            out[canonical] = value
+            if canonical != legacy:
+                aliases[legacy] = canonical
+        for path, node in self.trace.items():
+            out[f"span.{path}.wall_seconds"] = node["wall_seconds"]
+        return DeprecatedKeyDict(out, aliases, owner="DiscoveryResult.summary()")
 
 
 def _mesh_candidates(
@@ -160,6 +182,7 @@ def discover_facts(
     engine: RankingEngine | None = None,
     workers: int = 1,
     cache_size: int = 128,
+    config: DiscoveryConfig | None = None,
 ) -> DiscoveryResult:
     """Discover plausible missing facts from a trained KGE model.
 
@@ -206,6 +229,13 @@ def discover_facts(
         omitted); lets later generation iterations reuse rows for
         re-sampled ``(s, r)`` queries.  Each entry holds two
         ``num_entities``-sized float64 rows.
+    config:
+        Optional :class:`~repro.discovery.config.DiscoveryConfig`.  When
+        given it replaces ``strategy``, ``top_n``, ``max_candidates``,
+        ``seed``, ``drop_self_loops``, ``workers`` and ``cache_size``
+        wholesale — mixing a config with explicit values for those
+        arguments is not supported, so a serialized config replays the
+        exact run it describes.
 
     Returns
     -------
@@ -213,6 +243,14 @@ def discover_facts(
         Discovered facts (``rank <= top_n``), their ranks, and a runtime
         breakdown into weight computation, generation and ranking.
     """
+    if config is not None:
+        strategy = config.strategy
+        top_n = config.top_n
+        max_candidates = config.max_candidates
+        seed = config.seed
+        drop_self_loops = config.drop_self_loops
+        workers = config.workers
+        cache_size = config.cache_size
     if top_n < 1:
         raise ValueError(f"top_n must be >= 1, got {top_n}")
     if max_candidates < 1:
@@ -236,97 +274,121 @@ def discover_facts(
     if isinstance(strategy, str):
         strategy = create_strategy(strategy)
 
-    # Line 7: compute_weights(strategy).  Done once — the distributions do
-    # not change across relations — but charged to the runtime as in the
-    # paper, where this step dominates for the triangle-based strategies.
-    t0 = time.perf_counter()
-    strategy.prepare(stats)
-    weight_seconds = time.perf_counter() - t0
+    registry = get_registry()
+    spans_before = registry.snapshot()["spans"] if registry.enabled else None
 
-    if relations is None:
-        relations = [int(r) for r in train.unique_relations()]
+    with span("discover"):
+        # Line 7: compute_weights(strategy).  Done once — the distributions
+        # do not change across relations — but charged to the runtime as in
+        # the paper, where this step dominates for the triangle-based
+        # strategies.
+        with span("discover.weights") as weights_span:
+            strategy.prepare(stats)
+        weight_seconds = weights_span.wall_seconds
 
-    # Line 4: mesh-grid side length.
-    sample_size = int(np.sqrt(max_candidates)) + 10
+        if relations is None:
+            relations = [int(r) for r in train.unique_relations()]
 
-    all_facts: list[np.ndarray] = []
-    all_ranks: list[np.ndarray] = []
-    per_relation: dict[int, int] = {}
-    candidates_generated = 0
-    generation_seconds = 0.0
-    ranking_seconds = 0.0
+        # Line 4: mesh-grid side length.
+        sample_size = int(np.sqrt(max_candidates)) + 10
 
-    for relation in relations:
-        t0 = time.perf_counter()
-        local: list[np.ndarray] = []
-        local_count = 0
-        seen_keys = np.empty(0, dtype=np.int64)
-        iterations = 0
-        while local_count < max_candidates and iterations < MAX_GENERATION_ITERATIONS:
-            subjects = strategy.sample(SUBJECT, sample_size, rng, relation=relation)
-            objects = strategy.sample(OBJECT, sample_size, rng, relation=relation)
-            candidates = _mesh_candidates(subjects, relation, objects)
-            if drop_self_loops:
-                candidates = candidates[candidates[:, 0] != candidates[:, 2]]
-            # Line 12: filter triples already in G.
-            candidates = candidates[~train.contains(candidates)]
-            if rule_filter is not None:
-                candidates = candidates[rule_filter.accept_mask(candidates)]
-            # Deduplicate across iterations: vectorised probe against the
-            # sorted seen-keys array (repeats *within* one mesh batch are
-            # kept, exactly as the retired per-key Python loop did).
-            keys = encode_keys(candidates, train.num_entities, train.num_relations)
-            fresh = ~np.isin(keys, seen_keys)
-            candidates = candidates[fresh]
-            seen_keys = np.union1d(seen_keys, keys[fresh])
-            local.append(candidates)
-            local_count += len(candidates)
-            iterations += 1
-        relation_candidates = (
-            np.concatenate(local, axis=0)[:max_candidates]
-            if local
+        all_facts: list[np.ndarray] = []
+        all_ranks: list[np.ndarray] = []
+        per_relation: dict[int, int] = {}
+        candidates_generated = 0
+        generation_seconds = 0.0
+        ranking_seconds = 0.0
+
+        for relation in relations:
+            with span("discover.generate") as generate_span:
+                local: list[np.ndarray] = []
+                local_count = 0
+                seen_keys = np.empty(0, dtype=np.int64)
+                iterations = 0
+                while (
+                    local_count < max_candidates
+                    and iterations < MAX_GENERATION_ITERATIONS
+                ):
+                    subjects = strategy.sample(
+                        SUBJECT, sample_size, rng, relation=relation
+                    )
+                    objects = strategy.sample(
+                        OBJECT, sample_size, rng, relation=relation
+                    )
+                    candidates = _mesh_candidates(subjects, relation, objects)
+                    if drop_self_loops:
+                        candidates = candidates[candidates[:, 0] != candidates[:, 2]]
+                    # Line 12: filter triples already in G.
+                    candidates = candidates[~train.contains(candidates)]
+                    if rule_filter is not None:
+                        candidates = candidates[rule_filter.accept_mask(candidates)]
+                    # Deduplicate across iterations: vectorised probe against
+                    # the sorted seen-keys array (repeats *within* one mesh
+                    # batch are kept, exactly as the retired per-key Python
+                    # loop did).
+                    keys = encode_keys(
+                        candidates, train.num_entities, train.num_relations
+                    )
+                    fresh = ~np.isin(keys, seen_keys)
+                    candidates = candidates[fresh]
+                    seen_keys = np.union1d(seen_keys, keys[fresh])
+                    local.append(candidates)
+                    local_count += len(candidates)
+                    iterations += 1
+                relation_candidates = (
+                    np.concatenate(local, axis=0)[:max_candidates]
+                    if local
+                    else np.zeros((0, 3), dtype=np.int64)
+                )
+            generation_seconds += generate_span.wall_seconds
+            candidates_generated += len(relation_candidates)
+            registry.counter("discover.relations_count").inc()
+            registry.counter("discover.candidates_count").inc(len(relation_candidates))
+            if len(relation_candidates) == 0:
+                per_relation[relation] = 0
+                continue
+
+            # Line 14: rank candidates against their corruptions (standard
+            # filtered protocol per Bordes et al.), deduplicated by unique
+            # (s, r) query.  Scoring is pure inference: no_grad keeps the
+            # tape from recording backward closures for millions of
+            # candidate scores.
+            with span("rank") as rank_span:
+                with no_grad():
+                    ranks = engine.compute_ranks(
+                        model,
+                        relation_candidates,
+                        filter_triples=train,
+                        side="object",
+                    )
+            ranking_seconds += rank_span.wall_seconds
+
+            # Line 15: quality filter.
+            keep = ranks <= top_n
+            all_facts.append(relation_candidates[keep])
+            all_ranks.append(ranks[keep])
+            per_relation[relation] = int(keep.sum())
+            registry.counter("discover.facts_count").inc(int(keep.sum()))
+            logger.debug(
+                "relation %d: %d/%d candidates within top_n=%d",
+                relation,
+                int(keep.sum()),
+                len(relation_candidates),
+                top_n,
+            )
+
+        facts = (
+            np.concatenate(all_facts, axis=0)
+            if all_facts
             else np.zeros((0, 3), dtype=np.int64)
         )
-        generation_seconds += time.perf_counter() - t0
-        candidates_generated += len(relation_candidates)
-        if len(relation_candidates) == 0:
-            per_relation[relation] = 0
-            continue
+        ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
 
-        # Line 14: rank candidates against their corruptions (standard
-        # filtered protocol per Bordes et al.), deduplicated by unique
-        # (s, r) query.  Scoring is pure inference: no_grad keeps the
-        # tape from recording backward closures for millions of
-        # candidate scores.
-        t0 = time.perf_counter()
-        with no_grad():
-            ranks = engine.compute_ranks(
-                model,
-                relation_candidates,
-                filter_triples=train,
-                side="object",
-            )
-        ranking_seconds += time.perf_counter() - t0
-
-        # Line 15: quality filter.
-        keep = ranks <= top_n
-        all_facts.append(relation_candidates[keep])
-        all_ranks.append(ranks[keep])
-        per_relation[relation] = int(keep.sum())
-        logger.debug(
-            "relation %d: %d/%d candidates within top_n=%d",
-            relation,
-            int(keep.sum()),
-            len(relation_candidates),
-            top_n,
+    trace: dict[str, dict[str, float]] = {}
+    if spans_before is not None:
+        trace = flatten_spans(
+            span_tree_delta(spans_before, registry.snapshot()["spans"])
         )
-
-    facts = (
-        np.concatenate(all_facts, axis=0)
-        if all_facts
-        else np.zeros((0, 3), dtype=np.int64)
-    )
-    ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
     logger.info(
         "discovered %d facts with %s over %d relations "
         "(%.2fs: weights %.3fs, generation %.3fs, ranking %.3fs)",
@@ -356,4 +418,5 @@ def discover_facts(
         weight_seconds=weight_seconds,
         per_relation=per_relation,
         ranking_stats=ranking_stats,
+        trace=trace,
     )

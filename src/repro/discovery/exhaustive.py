@@ -9,14 +9,13 @@ orders of magnitude more candidates than Algorithm 1.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..autograd import no_grad
 from ..kg.graph import KnowledgeGraph
 from ..kge.base import KGEModel
 from ..kge.ranking import RankingEngine
+from ..obs import flatten_spans, get_registry, span, span_tree_delta
 from .discover import DiscoveryResult
 from .rules import RuleFilter
 
@@ -84,37 +83,47 @@ def exhaustive_discover_facts(
     generation_seconds = 0.0
     ranking_seconds = 0.0
     candidates_generated = 0
+    registry = get_registry()
+    spans_before = registry.snapshot()["spans"] if registry.enabled else None
 
-    for relation in relations:
-        t0 = time.perf_counter()
-        candidates = _complement_for_relation(graph, relation, drop_self_loops)
-        if rule_filter is not None:
-            candidates = rule_filter.filter(candidates)
-        if (
-            max_candidates_per_relation is not None
-            and len(candidates) > max_candidates_per_relation
-        ):
-            pick = rng.choice(
-                len(candidates), size=max_candidates_per_relation, replace=False
-            )
-            candidates = candidates[pick]
-        generation_seconds += time.perf_counter() - t0
-        candidates_generated += len(candidates)
-        if len(candidates) == 0:
-            per_relation[relation] = 0
-            continue
+    with span("discover"):
+        for relation in relations:
+            with span("discover.generate") as generate_span:
+                candidates = _complement_for_relation(
+                    graph, relation, drop_self_loops
+                )
+                if rule_filter is not None:
+                    candidates = rule_filter.filter(candidates)
+                if (
+                    max_candidates_per_relation is not None
+                    and len(candidates) > max_candidates_per_relation
+                ):
+                    pick = rng.choice(
+                        len(candidates),
+                        size=max_candidates_per_relation,
+                        replace=False,
+                    )
+                    candidates = candidates[pick]
+            generation_seconds += generate_span.wall_seconds
+            candidates_generated += len(candidates)
+            registry.counter("discover.relations_count").inc()
+            registry.counter("discover.candidates_count").inc(len(candidates))
+            if len(candidates) == 0:
+                per_relation[relation] = 0
+                continue
 
-        t0 = time.perf_counter()
-        with no_grad():
-            ranks = engine.compute_ranks(
-                model, candidates, filter_triples=graph.train, side="object"
-            )
-        ranking_seconds += time.perf_counter() - t0
+            with span("rank") as rank_span:
+                with no_grad():
+                    ranks = engine.compute_ranks(
+                        model, candidates, filter_triples=graph.train, side="object"
+                    )
+            ranking_seconds += rank_span.wall_seconds
 
-        keep = ranks <= top_n
-        all_facts.append(candidates[keep])
-        all_ranks.append(ranks[keep])
-        per_relation[relation] = int(keep.sum())
+            keep = ranks <= top_n
+            all_facts.append(candidates[keep])
+            all_ranks.append(ranks[keep])
+            per_relation[relation] = int(keep.sum())
+            registry.counter("discover.facts_count").inc(int(keep.sum()))
 
     facts = (
         np.concatenate(all_facts, axis=0)
@@ -123,6 +132,11 @@ def exhaustive_discover_facts(
     )
     ranks = np.concatenate(all_ranks) if all_ranks else np.zeros(0)
     after = engine.stats.as_dict()
+    trace: dict[str, dict[str, float]] = {}
+    if spans_before is not None:
+        trace = flatten_spans(
+            span_tree_delta(spans_before, registry.snapshot()["spans"])
+        )
     return DiscoveryResult(
         facts=facts,
         ranks=ranks,
@@ -137,4 +151,5 @@ def exhaustive_discover_facts(
         ranking_stats={
             key: after[key] - stats_baseline.get(key, 0) for key in after
         },
+        trace=trace,
     )

@@ -31,13 +31,14 @@ from ..kg.triples import TripleSet, encode_keys
 from ..kge.config import ModelConfig, TrainConfig
 from ..kge.ranking import RankingEngine
 from ..kge.training import fit
+from ..obs import DeprecatedKeyDict, ReportableMixin, span
 from .discover import DiscoveryResult, discover_facts
 
 __all__ = ["ProtocolResult", "hide_triples", "heldout_discovery_protocol"]
 
 
 @dataclass
-class ProtocolResult:
+class ProtocolResult(ReportableMixin):
     """Outcome of one held-out discovery evaluation."""
 
     num_hidden: int
@@ -49,13 +50,19 @@ class ProtocolResult:
     per_relation_recall: dict[int, float] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
-        return {
-            "num_hidden": self.num_hidden,
-            "num_discovered": self.num_discovered,
-            "num_recovered": self.num_recovered,
+        out = {
+            "hidden_count": self.num_hidden,
+            "discovered_count": self.num_discovered,
+            "recovered_count": self.num_recovered,
             "recall": self.recall,
             "known_true_precision": self.known_true_precision,
         }
+        aliases = {
+            "num_hidden": "hidden_count",
+            "num_discovered": "discovered_count",
+            "num_recovered": "recovered_count",
+        }
+        return DeprecatedKeyDict(out, aliases, owner="ProtocolResult.summary()")
 
 
 def hide_triples(
@@ -121,21 +128,22 @@ def heldout_discovery_protocol(
     ``engine`` is forwarded to :func:`discover_facts`, so protocol
     re-runs over the same reduced graph can share one score-row cache.
     """
-    reduced, hidden = hide_triples(graph, hide_fraction, seed=seed)
-    model = fit(reduced, model_config, train_config).model
-    # Discovery is pure inference on the trained model; keep the whole
-    # pipeline off the autodiff tape.
-    with no_grad():
-        discovery = discover_facts(
-            model,
-            reduced,
-            strategy=strategy,
-            top_n=top_n,
-            max_candidates=max_candidates,
-            seed=seed,
-            stats=GraphStatistics(reduced.train),
-            engine=engine,
-        )
+    with span("protocol"):
+        reduced, hidden = hide_triples(graph, hide_fraction, seed=seed)
+        model = fit(reduced, model_config, train_config).model
+        # Discovery is pure inference on the trained model; keep the whole
+        # pipeline off the autodiff tape.
+        with no_grad():
+            discovery = discover_facts(
+                model,
+                reduced,
+                strategy=strategy,
+                top_n=top_n,
+                max_candidates=max_candidates,
+                seed=seed,
+                stats=GraphStatistics(reduced.train),
+                engine=engine,
+            )
 
     recovered_mask = (
         hidden.contains(discovery.facts)

@@ -4,6 +4,7 @@ from .gridsearch import (
     PAPER_MAX_CANDIDATES_GRID,
     PAPER_TOP_N_GRID,
     GridPoint,
+    GridSearchResult,
     hyperparameter_grid,
 )
 from .model_selection import SearchResult, Trial, grid_search_models
@@ -26,10 +27,11 @@ from .runner import (
     get_trained_model,
     run_matrix,
 )
-from .workflow import FactDiscoveryWorkflow, WorkflowReport
+from .workflow import FactDiscoveryWorkflow, WorkflowReport, WorkflowResult
 
 __all__ = [
     "GridPoint",
+    "GridSearchResult",
     "hyperparameter_grid",
     "Trial",
     "SearchResult",
@@ -56,4 +58,5 @@ __all__ = [
     "PAPER_STRATEGIES",
     "FactDiscoveryWorkflow",
     "WorkflowReport",
+    "WorkflowResult",
 ]

@@ -13,9 +13,11 @@ from ..discovery.discover import discover_facts
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel
+from ..obs import DeprecatedKeyDict, ReportableMixin
 
 __all__ = [
     "GridPoint",
+    "GridSearchResult",
     "hyperparameter_grid",
     "PAPER_TOP_N_GRID",
     "PAPER_MAX_CANDIDATES_GRID",
@@ -27,7 +29,7 @@ PAPER_MAX_CANDIDATES_GRID = (50, 100, 200, 300, 400, 500, 700)
 
 
 @dataclass
-class GridPoint:
+class GridPoint(ReportableMixin):
     """Metrics measured at one (top_n, max_candidates) grid cell."""
 
     strategy: str
@@ -38,8 +40,27 @@ class GridPoint:
     runtime_seconds: float
     efficiency_facts_per_hour: float
 
+    def summary(self) -> dict[str, float]:
+        out = {
+            "strategy": self.strategy,
+            "top_n": self.top_n,
+            "max_candidates": self.max_candidates,
+            "facts_count": self.num_facts,
+            "mrr": self.mrr,
+            "runtime_seconds": self.runtime_seconds,
+            "efficiency_facts_per_hour": self.efficiency_facts_per_hour,
+        }
+        return DeprecatedKeyDict(
+            out, {"num_facts": "facts_count"}, owner="GridPoint.summary()"
+        )
+
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+#: Canonical name under the unified result API; ``GridPoint`` is the
+#: historical spelling and remains the class's ``__name__``.
+GridSearchResult = GridPoint
 
 
 def hyperparameter_grid(

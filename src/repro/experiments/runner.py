@@ -28,10 +28,18 @@ from __future__ import annotations
 import logging
 import os
 import zipfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..discovery.discover import DiscoveryResult, discover_facts
+from ..obs import (
+    DeprecatedKeyDict,
+    ReportableMixin,
+    flatten_spans,
+    get_registry,
+    span,
+    span_tree_delta,
+)
 from ..kg.datasets import load_dataset
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
@@ -283,12 +291,14 @@ def get_trained_model(
 
 
 @dataclass
-class MatrixRow:
+class MatrixRow(ReportableMixin):
     """One cell of the experiment matrix with its discovery metrics.
 
     ``status`` is ``"ok"`` for a completed cell and ``"failed"`` for a
     cell whose retry budget ran out in a degrading campaign; ``error``
-    then carries the failure fingerprint.
+    then carries the failure fingerprint.  ``trace`` holds the cell's
+    flattened span-tree summary when observability was enabled (empty
+    otherwise; old journal records without the field load unchanged).
     """
 
     dataset: str
@@ -302,6 +312,7 @@ class MatrixRow:
     test_mrr: float = float("nan")
     status: str = "ok"
     error: str = ""
+    trace: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(
@@ -310,6 +321,7 @@ class MatrixRow:
         model: str,
         result: DiscoveryResult,
         test_mrr: float = float("nan"),
+        trace: dict | None = None,
     ) -> "MatrixRow":
         return cls(
             dataset=dataset,
@@ -321,6 +333,27 @@ class MatrixRow:
             weight_seconds=result.weight_seconds,
             efficiency_facts_per_hour=result.efficiency_facts_per_hour(),
             test_mrr=test_mrr,
+            trace=dict(trace) if trace else {},
+        )
+
+    def summary(self) -> dict:
+        """Flat overview under canonical ``*_seconds``/``*_count`` keys."""
+        out = {
+            "dataset": self.dataset,
+            "model": self.model,
+            "strategy": self.strategy,
+            "facts_count": self.num_facts,
+            "mrr": self.mrr,
+            "runtime_seconds": self.runtime_seconds,
+            "weight_seconds": self.weight_seconds,
+            "efficiency_facts_per_hour": self.efficiency_facts_per_hour,
+            "test_mrr": self.test_mrr,
+            "status": self.status,
+        }
+        for path, node in self.trace.items():
+            out[f"span.{path}.wall_seconds"] = node["wall_seconds"]
+        return DeprecatedKeyDict(
+            out, {"num_facts": "facts_count"}, owner="MatrixRow.summary()"
         )
 
     @classmethod
@@ -417,101 +450,123 @@ def run_matrix(
     )
 
     rows: list[MatrixRow] = []
-    for dataset_name in datasets:
-        graph: KnowledgeGraph | None = None
-        shared_stats: GraphStatistics | None = None
-        test_mrr_cache: dict[str, float] = {}
-        for model_name in models:
-            for strategy_name in strategies:
-                key = _cell_key(dataset_name, model_name, strategy_name)
-                if key in state.completed:
-                    rows.append(MatrixRow.from_dict(state.completed[key]))
-                    continue
-                attempts = state.attempts.get(key, 0)
-                if attempts >= max_cell_attempts:
-                    rows.append(
-                        MatrixRow.failed(
-                            dataset_name,
-                            model_name,
-                            strategy_name,
-                            state.last_error.get(key, "interrupted"),
-                        )
-                    )
-                    continue
-
-                if graph is None:
-                    graph = load_dataset(dataset_name)
-                    if share_statistics:
-                        shared_stats = GraphStatistics(graph.train)
-                if journal is not None:
-                    journal.append("cell_started", cell=key, attempt=attempts + 1)
-                    state.attempts[key] = attempts + 1
-                try:
-                    faults.trigger("matrix_cell", key)
-                    model = get_trained_model(dataset_name, model_name, graph=graph)
-                    if evaluate_models and model_name not in test_mrr_cache:
-                        test_mrr_cache[model_name] = evaluate_ranking(
-                            model, graph, split="test"
-                        ).mrr
-                    test_mrr = (
-                        test_mrr_cache[model_name]
-                        if evaluate_models
-                        else float("nan")
-                    )
-                    stats = shared_stats or GraphStatistics(graph.train)
-                    result = discover_facts(
-                        model,
-                        graph,
-                        strategy=strategy_name,
-                        top_n=top_n,
-                        max_candidates=max_candidates,
-                        seed=seed,
-                        stats=stats,
-                    )
-                except Exception as error:
-                    fingerprint = error_fingerprint(error)
-                    if journal is not None:
-                        journal.append(
-                            "cell_failed",
-                            cell=key,
-                            attempt=state.attempts.get(key, attempts + 1),
-                            error=fingerprint,
-                        )
-                        state.last_error[key] = fingerprint
-                    if on_error == "raise":
-                        raise
-                    logger.warning("cell %s failed: %s", key, fingerprint)
-                    if state.attempts.get(key, attempts + 1) >= max_cell_attempts:
+    registry = get_registry()
+    with span("matrix"):
+        for dataset_name in datasets:
+            graph: KnowledgeGraph | None = None
+            shared_stats: GraphStatistics | None = None
+            test_mrr_cache: dict[str, float] = {}
+            for model_name in models:
+                for strategy_name in strategies:
+                    key = _cell_key(dataset_name, model_name, strategy_name)
+                    if key in state.completed:
+                        rows.append(MatrixRow.from_dict(state.completed[key]))
+                        continue
+                    attempts = state.attempts.get(key, 0)
+                    if attempts >= max_cell_attempts:
                         rows.append(
                             MatrixRow.failed(
-                                dataset_name, model_name, strategy_name, fingerprint
-                            )
-                        )
-                    else:
-                        rows.append(
-                            _rerun_cell(
-                                journal,
-                                state,
                                 dataset_name,
                                 model_name,
                                 strategy_name,
-                                graph,
-                                shared_stats,
-                                top_n,
-                                max_candidates,
-                                seed,
-                                max_cell_attempts,
+                                state.last_error.get(key, "interrupted"),
                             )
                         )
-                    continue
+                        continue
 
-                row = MatrixRow.from_result(
-                    dataset_name, model_name, result, test_mrr
-                )
-                if journal is not None:
-                    journal.append("cell_succeeded", cell=key, row=row.to_dict())
-                    state.completed[key] = row.to_dict()
-                rows.append(row)
+                    if graph is None:
+                        graph = load_dataset(dataset_name)
+                        if share_statistics:
+                            shared_stats = GraphStatistics(graph.train)
+                    if journal is not None:
+                        journal.append("cell_started", cell=key, attempt=attempts + 1)
+                        state.attempts[key] = attempts + 1
+                    cell_before = (
+                        registry.snapshot()["spans"] if registry.enabled else None
+                    )
+                    try:
+                        faults.trigger("matrix_cell", key)
+                        with span("matrix.cell"):
+                            model = get_trained_model(
+                                dataset_name, model_name, graph=graph
+                            )
+                            if evaluate_models and model_name not in test_mrr_cache:
+                                test_mrr_cache[model_name] = evaluate_ranking(
+                                    model, graph, split="test"
+                                ).mrr
+                            test_mrr = (
+                                test_mrr_cache[model_name]
+                                if evaluate_models
+                                else float("nan")
+                            )
+                            stats = shared_stats or GraphStatistics(graph.train)
+                            result = discover_facts(
+                                model,
+                                graph,
+                                strategy=strategy_name,
+                                top_n=top_n,
+                                max_candidates=max_candidates,
+                                seed=seed,
+                                stats=stats,
+                            )
+                    except Exception as error:
+                        registry.counter("matrix.cell_failures_count").inc()
+                        fingerprint = error_fingerprint(error)
+                        if journal is not None:
+                            journal.append(
+                                "cell_failed",
+                                cell=key,
+                                attempt=state.attempts.get(key, attempts + 1),
+                                error=fingerprint,
+                            )
+                            state.last_error[key] = fingerprint
+                        if on_error == "raise":
+                            raise
+                        logger.warning("cell %s failed: %s", key, fingerprint)
+                        if state.attempts.get(key, attempts + 1) >= max_cell_attempts:
+                            rows.append(
+                                MatrixRow.failed(
+                                    dataset_name,
+                                    model_name,
+                                    strategy_name,
+                                    fingerprint,
+                                )
+                            )
+                        else:
+                            rows.append(
+                                _rerun_cell(
+                                    journal,
+                                    state,
+                                    dataset_name,
+                                    model_name,
+                                    strategy_name,
+                                    graph,
+                                    shared_stats,
+                                    top_n,
+                                    max_candidates,
+                                    seed,
+                                    max_cell_attempts,
+                                )
+                            )
+                        continue
+
+                    trace = (
+                        flatten_spans(
+                            span_tree_delta(
+                                cell_before, registry.snapshot()["spans"]
+                            )
+                        )
+                        if cell_before is not None
+                        else {}
+                    )
+                    registry.counter("matrix.cells_count").inc()
+                    row = MatrixRow.from_result(
+                        dataset_name, model_name, result, test_mrr, trace=trace
+                    )
+                    if journal is not None:
+                        journal.append("cell_succeeded", cell=key, row=row.to_dict())
+                        state.completed[key] = row.to_dict()
+                    rows.append(row)
     return rows
 
 

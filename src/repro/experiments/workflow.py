@@ -21,14 +21,15 @@ from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel
 from ..kge.evaluation import RankingMetrics, evaluate_ranking
 from ..kge.training import fit
+from ..obs import ReportableMixin
 from ..resilience import GuardConfig, RetryPolicy
 from .runner import default_model_config, default_train_config, get_trained_model
 
-__all__ = ["WorkflowReport", "FactDiscoveryWorkflow"]
+__all__ = ["WorkflowReport", "WorkflowResult", "FactDiscoveryWorkflow"]
 
 
 @dataclass
-class WorkflowReport:
+class WorkflowReport(ReportableMixin):
     """Everything one workflow run produced."""
 
     dataset: str
@@ -50,6 +51,11 @@ class WorkflowReport:
         }
         out.update(self.discovery.summary())
         return out
+
+
+#: Canonical name under the unified result API; ``WorkflowReport`` is the
+#: historical spelling and remains the class's ``__name__``.
+WorkflowResult = WorkflowReport
 
 
 class FactDiscoveryWorkflow:

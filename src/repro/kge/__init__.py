@@ -16,7 +16,6 @@ from .distmult import DistMult
 from .evaluation import (
     RankingMetrics,
     compute_ranks,
-    compute_ranks_reference,
     evaluate_ranking,
     generate_hard_negatives,
     triple_classification,
@@ -71,7 +70,6 @@ __all__ = [
     "fit",
     "RankingMetrics",
     "compute_ranks",
-    "compute_ranks_reference",
     "RankingEngine",
     "RankingStats",
     "GroupedFilter",
@@ -85,3 +83,23 @@ __all__ = [
     "top_objects",
     "top_subjects",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the brute-force reference ranker was historically
+    # re-exported here, but its canonical home is repro.kge.evaluation.
+    # Keeping it lazily importable (with a warning) lets old notebooks and
+    # scripts keep running one more release.
+    if name == "compute_ranks_reference":
+        import warnings
+
+        warnings.warn(
+            "importing compute_ranks_reference from repro.kge is deprecated; "
+            "import it from repro.kge.evaluation instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .evaluation import compute_ranks_reference
+
+        return compute_ranks_reference
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

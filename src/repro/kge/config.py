@@ -8,7 +8,7 @@ small declarative configs that can be expanded into grids.
 from __future__ import annotations
 
 import itertools
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Iterator
 
 __all__ = ["ModelConfig", "TrainConfig", "expand_grid"]
@@ -35,9 +35,13 @@ class ModelConfig:
         return asdict(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TrainConfig:
     """How to train a model.
+
+    All fields are keyword-only: positional construction silently breaks
+    whenever a field is inserted, so ``TrainConfig(epochs=5)`` is the only
+    supported spelling.
 
     ``job`` selects the training regime: ``"negative_sampling"`` (margin
     or BCE loss on corrupted triples), ``"kvsall"`` (BCE against all
@@ -98,6 +102,21 @@ class TrainConfig:
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrainConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` so stale serialized configs
+        fail loudly instead of silently dropping settings.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown TrainConfig keys: {sorted(unknown)}"
+            )
+        return cls(**data)
 
 
 def expand_grid(space: dict[str, list[Any]]) -> Iterator[dict[str, Any]]:

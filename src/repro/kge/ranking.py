@@ -32,7 +32,6 @@ paths obtain them from exact float comparisons against the same row.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
@@ -42,8 +41,15 @@ import numpy as np
 
 from ..autograd import no_grad
 from ..kg.triples import TripleSet
+from ..obs import DeprecatedKeyDict, ReportableMixin, get_registry, span
 
-__all__ = ["GroupedFilter", "RankingEngine", "RankingStats", "ScoreRowCache"]
+__all__ = [
+    "GroupedFilter",
+    "RankingEngine",
+    "RankingStats",
+    "RANKING_STATS_ALIASES",
+    "ScoreRowCache",
+]
 
 _SIDES = ("object", "subject")
 
@@ -133,8 +139,19 @@ class ScoreRowCache:
             self._rows.clear()
 
 
+#: Legacy ``RankingStats`` field names → canonical ``*_count`` summary keys
+#: (the ``*_seconds`` fields were already canonically named).
+RANKING_STATS_ALIASES = {
+    "candidates_ranked": "candidates_ranked_count",
+    "unique_queries": "unique_queries_count",
+    "rows_scored": "rows_scored_count",
+    "rows_reused": "rows_reused_count",
+    "cache_hits": "cache_hits_count",
+}
+
+
 @dataclass
-class RankingStats:
+class RankingStats(ReportableMixin):
     """Cumulative instrumentation counters of a :class:`RankingEngine`.
 
     ``rows_scored`` counts 1-vs-all rows actually computed by the model;
@@ -160,6 +177,30 @@ class RankingStats:
         """Add another stats object's counters into this one."""
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def summary(self) -> dict[str, float]:
+        """Counters under canonical names; field names resolve as aliases."""
+        out = {
+            RANKING_STATS_ALIASES.get(f.name, f.name): getattr(self, f.name)
+            for f in fields(self)
+        }
+        return DeprecatedKeyDict(
+            out, RANKING_STATS_ALIASES, owner="RankingStats.summary()"
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """Field-named payload — the shape :meth:`from_dict` reconstructs."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "RankingStats":
+        """Rebuild from :meth:`to_dict` output (canonical keys also accepted)."""
+        canonical_to_field = {v: k for k, v in RANKING_STATS_ALIASES.items()}
+        kwargs = {canonical_to_field.get(key, key): value for key, value in data.items()}
+        unknown = set(kwargs) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown RankingStats keys: {sorted(unknown)}")
+        return cls(**kwargs)
 
 
 class RankingEngine:
@@ -260,14 +301,15 @@ class RankingEngine:
 
         starts = stops = known_flat = None
         if filter_triples is not None:
-            t0 = time.perf_counter()
-            grouped = self._grouped_filter(filter_triples, side)
-            starts, stops = grouped.segments(grouped.query_keys(ua, ub))
-            known_flat = grouped.entities
-            self.stats.filter_seconds += time.perf_counter() - t0
+            with span("rank.filter") as filter_span:
+                grouped = self._grouped_filter(filter_triples, side)
+                starts, stops = grouped.segments(grouped.query_keys(ua, ub))
+                known_flat = grouped.entities
+            self.stats.filter_seconds += filter_span.wall_seconds
 
         ranks = np.zeros(len(triples))
         scored_before = self.stats.rows_scored
+        hits_before = self.stats.cache_hits
         chunks = [
             (lo, min(lo + self.chunk_size, num_unique))
             for lo in range(0, num_unique, self.chunk_size)
@@ -309,9 +351,19 @@ class RankingEngine:
                 ranks[cand] = greater + (equal - 1) / 2.0 + 1.0
         # Candidates served without a fresh model call: query dedup
         # within this call plus cache hits carried over from earlier ones.
-        self.stats.rows_reused += len(triples) - (
-            self.stats.rows_scored - scored_before
-        )
+        reused = len(triples) - (self.stats.rows_scored - scored_before)
+        self.stats.rows_reused += reused
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("rank.candidates_ranked_count").inc(len(triples))
+            registry.counter("rank.unique_queries_count").inc(num_unique)
+            registry.counter("rank.rows_scored_count").inc(
+                self.stats.rows_scored - scored_before
+            )
+            registry.counter("rank.cache_hits_count").inc(
+                self.stats.cache_hits - hits_before
+            )
+            registry.counter("rank.rows_reused_count").inc(reused)
         return ranks
 
     # ------------------------------------------------------------------
@@ -344,13 +396,15 @@ class RankingEngine:
         seconds = 0.0
         if missing:
             idx = np.asarray(missing, dtype=np.int64)
-            t0 = time.perf_counter()
-            with no_grad():
-                if side == "object":
-                    scored = model.scores_sp(ua[lo + idx], ub[lo + idx])
-                else:
-                    scored = model.scores_po(ua[lo + idx], ub[lo + idx])
-            seconds = time.perf_counter() - t0
+            # A span rather than a raw clock: on worker threads the span
+            # roots its own subtree instead of nesting under ``rank``.
+            with span("rank.score") as score_span:
+                with no_grad():
+                    if side == "object":
+                        scored = model.scores_sp(ua[lo + idx], ub[lo + idx])
+                    else:
+                        scored = model.scores_po(ua[lo + idx], ub[lo + idx])
+            seconds = score_span.wall_seconds
             scored = np.asarray(scored)
             scored_sorted = np.sort(scored, axis=1)
             for j, i in enumerate(missing):

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..autograd import Adagrad, Adam, Optimizer, SGD
 from ..kg.graph import KnowledgeGraph
+from ..obs import get_registry, span
 from ..resilience import (
     GuardConfig,
     GuardReport,
@@ -138,6 +139,7 @@ def _negative_sampling_epoch(
     order = rng.permutation(len(triples))
     total = 0.0
     batches = 0
+    registry = get_registry()
     for start in range(0, len(order), config.batch_size):
         batch = triples[order[start : start + config.batch_size]]
         negatives = sampler.sample(batch)
@@ -166,12 +168,14 @@ def _negative_sampling_epoch(
                 f"negative_sampling job cannot use loss {type(loss_fn).__name__}"
             )
         loss.backward()
-        optimizer.step()
-        if batch_flush:
-            # The hook below mutates parameters in place (e.g. TransE's
-            # row renormalisation), so lazy rows must be settled first.
-            optimizer.flush()
+        with span("train.step"):
+            optimizer.step()
+            if batch_flush:
+                # The hook below mutates parameters in place (e.g. TransE's
+                # row renormalisation), so lazy rows must be settled first.
+                optimizer.flush()
         model.post_batch_hook()
+        registry.counter("train.batches_count").inc()
         total += loss.item()
         batches += 1
     return total / max(batches, 1)
@@ -207,6 +211,7 @@ def _kvsall_epoch(
     total = 0.0
     batches = 0
     n = model.num_entities
+    registry = get_registry()
     for start in range(0, len(order), config.batch_size):
         rows = order[start : start + config.batch_size]
         batch = queries[rows]
@@ -218,10 +223,12 @@ def _kvsall_epoch(
         logits = model.score_sp(batch[:, 0], batch[:, 1])
         loss = loss_fn(logits, targets)
         loss.backward()
-        optimizer.step()
-        if batch_flush:
-            optimizer.flush()
+        with span("train.step"):
+            optimizer.step()
+            if batch_flush:
+                optimizer.flush()
         model.post_batch_hook()
+        registry.counter("train.batches_count").inc()
         total += loss.item()
         batches += 1
     return total / max(batches, 1)
@@ -243,16 +250,19 @@ def _one_vs_all_epoch(
     order = rng.permutation(len(triples))
     total = 0.0
     batches = 0
+    registry = get_registry()
     for start in range(0, len(order), config.batch_size):
         batch = triples[order[start : start + config.batch_size]]
         optimizer.zero_grad()
         logits = model.score_sp(batch[:, 0], batch[:, 1])
         loss = loss_fn(logits, batch[:, 2])
         loss.backward()
-        optimizer.step()
-        if batch_flush:
-            optimizer.flush()
+        with span("train.step"):
+            optimizer.step()
+            if batch_flush:
+                optimizer.flush()
         model.post_batch_hook()
+        registry.counter("train.batches_count").inc()
         total += loss.item()
         batches += 1
     return total / max(batches, 1)
@@ -339,94 +349,111 @@ def train_model(
     model.train()
     epoch = 0
     attempt = 0
-    while epoch < config.epochs:
-        faults.trigger("train_epoch", epoch)
-        if guard_state is not None and guard_state.wants_snapshots and attempt == 0:
-            # The state *entering* the epoch is the last-known-good state.
-            guard_state.snapshot(model, optimizer)
-        if attempt == 0:
-            epoch_rng, epoch_sampler = rng, sampler
-        else:
-            epoch_rng = spawn_stream(config.seed, epoch, attempt)
-            epoch_sampler = (
-                sampler.reseeded(spawn_stream(config.seed, epoch, attempt, 1))
-                if sampler is not None
+    registry = get_registry()
+    with span("train"):
+        while epoch < config.epochs:
+            faults.trigger("train_epoch", epoch)
+            if (
+                guard_state is not None
+                and guard_state.wants_snapshots
+                and attempt == 0
+            ):
+                # The state *entering* the epoch is the last-known-good state.
+                guard_state.snapshot(model, optimizer)
+            if attempt == 0:
+                epoch_rng, epoch_sampler = rng, sampler
+            else:
+                epoch_rng = spawn_stream(config.seed, epoch, attempt)
+                epoch_sampler = (
+                    sampler.reseeded(spawn_stream(config.seed, epoch, attempt, 1))
+                    if sampler is not None
+                    else None
+                )
+            with span("train.epoch"):
+                mean_loss = run_epoch(epoch_rng, epoch_sampler)
+                # Settle lazily-deferred sparse rows before anything reads
+                # or perturbs state: guard inspection, lr decay,
+                # evaluation.  The replay is exact, so flushing here
+                # cannot change the final bits.
+                optimizer.flush()
+
+            event = (
+                guard_state.inspect(epoch, attempt, mean_loss, model, optimizer)
+                if guard_state is not None
                 else None
             )
-        mean_loss = run_epoch(epoch_rng, epoch_sampler)
-        # Settle lazily-deferred sparse rows before anything reads or
-        # perturbs state: guard inspection, lr decay, evaluation.  The
-        # replay is exact, so flushing here cannot change the final bits.
-        optimizer.flush()
+            if event is not None:
+                registry.counter("train.guard_events_count").inc()
+                policy = guard_state.config.policy
+                if (
+                    policy == "retry"
+                    and attempt < guard_state.config.max_epoch_retries
+                ):
+                    guard_state.restore(model, optimizer)
+                    guard_state.mark(event, "retried")
+                    logger.warning(
+                        "epoch %d %s (%s); retrying with spawned streams "
+                        "(attempt %d)",
+                        epoch + 1, event.kind, event.detail, attempt + 1,
+                    )
+                    attempt += 1
+                    continue
+                if policy == "rollback":
+                    guard_state.restore(model, optimizer)
+                    guard_state.mark(event, "rolled_back")
+                    result.rolled_back = True
+                    logger.warning(
+                        "epoch %d %s (%s); rolled back to last healthy state "
+                        "after %d clean epochs",
+                        epoch + 1, event.kind, event.detail, result.epochs_run,
+                    )
+                    break
+                guard_state.mark(event, "halted")
+                model.eval()
+                raise TrainingDivergedError(
+                    f"training diverged at epoch {epoch + 1} "
+                    f"({event.kind}: {event.detail})",
+                    report=guard_state.report,
+                )
 
-        event = (
-            guard_state.inspect(epoch, attempt, mean_loss, model, optimizer)
-            if guard_state is not None
-            else None
-        )
-        if event is not None:
-            policy = guard_state.config.policy
-            if policy == "retry" and attempt < guard_state.config.max_epoch_retries:
-                guard_state.restore(model, optimizer)
-                guard_state.mark(event, "retried")
-                logger.warning(
-                    "epoch %d %s (%s); retrying with spawned streams (attempt %d)",
-                    epoch + 1, event.kind, event.detail, attempt + 1,
-                )
-                attempt += 1
-                continue
-            if policy == "rollback":
-                guard_state.restore(model, optimizer)
-                guard_state.mark(event, "rolled_back")
-                result.rolled_back = True
-                logger.warning(
-                    "epoch %d %s (%s); rolled back to last healthy state "
-                    "after %d clean epochs",
-                    epoch + 1, event.kind, event.detail, result.epochs_run,
-                )
-                break
-            guard_state.mark(event, "halted")
-            model.eval()
-            raise TrainingDivergedError(
-                f"training diverged at epoch {epoch + 1} "
-                f"({event.kind}: {event.detail})",
-                report=guard_state.report,
+            result.losses.append(mean_loss)
+            result.epochs_run = epoch + 1
+            attempt = 0
+            registry.counter("train.epochs_count").inc()
+            registry.gauge("train.loss").set(mean_loss)
+            if config.lr_decay < 1.0:
+                optimizer.lr *= config.lr_decay
+            logger.debug(
+                "epoch %d/%d: loss=%.4f", epoch + 1, config.epochs, mean_loss
             )
+            if config.verbose:
+                print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
 
-        result.losses.append(mean_loss)
-        result.epochs_run = epoch + 1
-        attempt = 0
-        if config.lr_decay < 1.0:
-            optimizer.lr *= config.lr_decay
-        logger.debug(
-            "epoch %d/%d: loss=%.4f", epoch + 1, config.epochs, mean_loss
-        )
-        if config.verbose:
-            print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
-
-        should_eval = config.eval_every > 0 and (epoch + 1) % config.eval_every == 0
-        if should_eval and len(graph.valid):
-            model.eval()
-            metrics = evaluate_ranking(model, graph, split="valid")
-            model.train()
-            mrr = metrics.mrr
-            result.valid_mrr_history.append(mrr)
-            if mrr > best_mrr:
-                best_mrr = mrr
-                epochs_since_best = 0
-            else:
-                epochs_since_best += 1
-            if (
-                config.early_stopping_patience > 0
-                and epochs_since_best >= config.early_stopping_patience
-            ):
-                logger.info(
-                    "early stopping after epoch %d (best valid MRR %.4f)",
-                    epoch + 1,
-                    best_mrr,
-                )
-                break
-        epoch += 1
+            should_eval = (
+                config.eval_every > 0 and (epoch + 1) % config.eval_every == 0
+            )
+            if should_eval and len(graph.valid):
+                model.eval()
+                metrics = evaluate_ranking(model, graph, split="valid")
+                model.train()
+                mrr = metrics.mrr
+                result.valid_mrr_history.append(mrr)
+                if mrr > best_mrr:
+                    best_mrr = mrr
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                if (
+                    config.early_stopping_patience > 0
+                    and epochs_since_best >= config.early_stopping_patience
+                ):
+                    logger.info(
+                        "early stopping after epoch %d (best valid MRR %.4f)",
+                        epoch + 1,
+                        best_mrr,
+                    )
+                    break
+            epoch += 1
 
     model.eval()
     result.best_valid_mrr = best_mrr

@@ -21,6 +21,9 @@ RPR006    float64 dtype hygiene, mutable defaults, bare ``except``
 RPR007    resilience — no swallowed broad excepts; atomic binary writes
 RPR008    sparse-grad safety — dense ``.grad`` reads in kge/autograd
           must handle ``SparseGrad``, densify, or ``flush()`` first
+RPR009    observability — no raw ``time.*`` clocks in
+          kge/discovery/experiments (use ``repro.obs.span``);
+          ``summary()``-bearing result classes speak ``Reportable``
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -47,6 +50,7 @@ from .suppress import filter_suppressed, suppressed_rule_ids
 from . import (
     rules_api,
     rules_hygiene,
+    rules_obs,
     rules_resilience,
     rules_rng,
     rules_sparse,
@@ -74,6 +78,7 @@ __all__ = [
     "suppressed_rule_ids",
     "rules_api",
     "rules_hygiene",
+    "rules_obs",
     "rules_resilience",
     "rules_rng",
     "rules_sparse",

@@ -1,0 +1,144 @@
+"""Render registry snapshots: JSON file, Prometheus text format, human table.
+
+Every exporter is a pure function ``snapshot -> str`` over the plain-dict
+shape produced by :meth:`MetricsRegistry.snapshot`, so snapshots written
+to disk by ``--metrics-out`` can be re-rendered later by ``repro obs``
+without the process that recorded them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from .registry import MetricsRegistry
+from .spans import flatten_spans
+
+__all__ = [
+    "render_json",
+    "render_prometheus",
+    "render_table",
+    "write_snapshot",
+    "EXPORTER_FORMATS",
+]
+
+
+def render_json(snapshot: dict[str, Any]) -> str:
+    """Canonical JSON rendering (sorted keys, trailing newline)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def _metric_name(name: str) -> str:
+    """Map a dotted metric name to a Prometheus-legal one."""
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _num(value: float) -> str:
+    return "%.17g" % value
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Span nodes are exported as three ``*_total`` families labelled by the
+    slash-joined path, mirroring how tracing backends flatten trees.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_num(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_num(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_num(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_num(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    flat = flatten_spans(snapshot.get("spans", {}))
+    if flat:
+        for family, key in (
+            ("repro_span_count_total", "count"),
+            ("repro_span_wall_seconds_total", "wall_seconds"),
+            ("repro_span_cpu_seconds_total", "cpu_seconds"),
+        ):
+            lines.append(f"# TYPE {family} counter")
+            for path in sorted(flat):
+                value = flat[path][key]
+                lines.append(f'{family}{{path="{_label_value(path)}"}} {_num(value)}')
+    return "\n".join(lines) + "\n"
+
+
+def render_table(snapshot: dict[str, Any]) -> str:
+    """Human-readable summary: metrics first, then the indented span tree."""
+    lines: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        lines.append("metrics")
+        width = max(len(n) for n in [*counters, *gauges])
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:g}")
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"  {name}  count={hist['count']}  sum={hist['sum']:.6f}  mean={mean:.6f}"
+            )
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("spans")
+        flat = flatten_spans(spans)
+        width = max(len(path) for path in flat)
+        for path, node in flat.items():
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            lines.append(
+                f"  {label:<{width}}  count={node['count']:<6}  "
+                f"wall={node['wall_seconds']:.6f}s  cpu={node['cpu_seconds']:.6f}s"
+            )
+
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines) + "\n"
+
+
+EXPORTER_FORMATS: dict[str, Callable[[dict[str, Any]], str]] = {
+    "json": render_json,
+    "prometheus": render_prometheus,
+    "table": render_table,
+}
+
+
+def write_snapshot(
+    source: MetricsRegistry | dict[str, Any], path: str, fmt: str = "json"
+) -> None:
+    """Render ``source`` (registry or snapshot dict) to ``path``."""
+    if fmt not in EXPORTER_FORMATS:
+        raise ValueError(f"unknown exporter format {fmt!r}; pick from {sorted(EXPORTER_FORMATS)}")
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(EXPORTER_FORMATS[fmt](snapshot))

@@ -139,10 +139,16 @@ class TestSchedulers:
         assert result.rewards[0] == max(result.rewards.values())
 
     def test_ucb_beats_round_robin_on_skewed_yields(self, small_graph, biased_model):
-        """The point of the bandit: same budget (pull count), more facts."""
+        """The point of the bandit: same budget (pull count), more facts.
+
+        The budget is expressed in pulls (``max_pulls``) rather than
+        wall-clock so both schedulers do exactly the same amount of work
+        and the comparison is deterministic.
+        """
         model = biased_model
         kwargs = dict(
-            budget_seconds=0.4, top_n=5, batch_candidates=64, seed=0,
+            budget_seconds=30.0, max_pulls=30, top_n=5,
+            batch_candidates=64, seed=0,
         )
         ucb = anytime_discover(model, small_graph, scheduler="ucb", **kwargs)
         rr = anytime_discover(model, small_graph, scheduler="round_robin", **kwargs)

@@ -63,4 +63,4 @@ class TestCompare:
         rows = compare_results(results)
         assert len(rows) == 2
         assert rows[0]["mrr"] >= rows[1]["mrr"]
-        assert {"label", "num_facts", "runtime_seconds"} <= set(rows[0])
+        assert {"label", "facts_count", "runtime_seconds"} <= set(rows[0])

@@ -91,9 +91,12 @@ class TestProtocol:
     def test_summary_flat(self, result):
         summary = result.summary()
         assert set(summary) == {
-            "num_hidden", "num_discovered", "num_recovered", "recall",
+            "hidden_count", "discovered_count", "recovered_count", "recall",
             "known_true_precision",
         }
+        # The pre-observability names still resolve as deprecated aliases.
+        with pytest.deprecated_call():
+            assert summary["num_hidden"] == summary["hidden_count"]
 
     def test_popularity_sampling_beats_uniform_recall(self, small_graph):
         """The paper's finding restated in protocol terms: EF recovers

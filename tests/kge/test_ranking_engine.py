@@ -20,10 +20,10 @@ from repro.kge import (
     RankingEngine,
     ScoreRowCache,
     compute_ranks,
-    compute_ranks_reference,
     create_model,
 )
 from repro.kge.base import KGEModel
+from repro.kge.evaluation import compute_ranks_reference
 
 #: The paper's model families the equivalence suite runs over.
 MODELS = ("transe", "distmult", "complex", "rescal", "conve")

@@ -1,0 +1,25 @@
+"""Bad fixture for RPR009: raw clocks and off-protocol telemetry."""
+
+import time
+from time import perf_counter as tick
+
+
+def time_generation(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_budget(fn):
+    start = tick()
+    fn()
+    cpu = time.process_time()
+    return tick() - start, cpu
+
+
+class LooseResult:
+    def __init__(self, facts):
+        self.facts = facts
+
+    def summary(self):
+        return {"facts_count": len(self.facts)}

@@ -1,0 +1,38 @@
+"""Clean fixture for RPR009: spans for timing, Reportable results."""
+
+from repro.obs import ReportableMixin, Stopwatch, span
+
+
+def time_generation(fn):
+    with span("discover.generate") as generate_span:
+        fn()
+    return generate_span.wall_seconds
+
+
+def time_budget(fn):
+    watch = Stopwatch()
+    fn()
+    return watch.elapsed_seconds
+
+
+class SpanResult(ReportableMixin):
+    def __init__(self, facts):
+        self.facts = facts
+
+    def summary(self):
+        return {"facts_count": len(self.facts)}
+
+
+class SelfContainedResult:
+    """Speaks the protocol structurally instead of via the mixin."""
+
+    def summary(self):
+        return {"ok": True}
+
+    def to_dict(self):
+        return dict(self.summary())
+
+    def to_json(self):
+        import json
+
+        return json.dumps(self.to_dict())

@@ -1,9 +1,9 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR008 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR009 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
-The scoped rules (RPR002/RPR004/RPR007/RPR008) live under a fake package tree in
+The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009) live under a fake package tree in
 ``fixtures/proj`` so module-name derivation resolves them into the
 ``repro.*`` namespaces the rules watch.
 """
@@ -49,6 +49,12 @@ CASES = [
         "proj/repro/kge/rpr008_bad.py",
         "proj/repro/kge/rpr008_clean.py",
         3,
+    ),
+    (
+        "RPR009",
+        "proj/repro/discovery/rpr009_bad.py",
+        "proj/repro/discovery/rpr009_clean.py",
+        6,
     ),
 ]
 
@@ -146,6 +152,34 @@ def test_rpr007_atomic_writes_only_fire_in_scoped_modules():
     # The sanctioned writer itself is out of scope.
     assert ENGINE.lint_source(source, module="repro.resilience.atomic") == []
     assert ENGINE.lint_source(source, module="repro.discovery.candidates") == []
+
+
+def test_rpr009_raw_clocks_only_fire_in_scoped_modules():
+    source = "import time\ndef f():\n    return time.perf_counter()\n"
+    findings = ENGINE.lint_source(source, module="repro.kge.training")
+    assert [finding.rule_id for finding in findings] == ["RPR009"]
+    findings = ENGINE.lint_source(source, module="repro.experiments.runner")
+    assert [finding.rule_id for finding in findings] == ["RPR009"]
+    # The obs package owns the clocks; unscoped modules are free too.
+    assert ENGINE.lint_source(source, module="repro.obs.spans") == []
+    assert ENGINE.lint_source(source, module="repro.resilience.retry") == []
+
+
+def test_rpr009_summary_without_reportable_is_flagged():
+    source = (
+        "class R:\n"
+        "    def summary(self):\n"
+        "        return {}\n"
+    )
+    findings = ENGINE.lint_source(source, module="repro.resilience.guards")
+    assert [finding.rule_id for finding in findings] == ["RPR009"]
+    mixed_in = (
+        "from repro.obs import ReportableMixin\n"
+        "class R(ReportableMixin):\n"
+        "    def summary(self):\n"
+        "        return {}\n"
+    )
+    assert ENGINE.lint_source(mixed_in, module="repro.resilience.guards") == []
 
 
 def test_rpr007_swallowed_broad_except_fires_everywhere():

@@ -1,0 +1,102 @@
+"""Public API surface: keyword-only configs, __all__ integrity, shims."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.discovery import DiscoveryConfig
+from repro.kge import TrainConfig
+
+
+class TestTrainConfig:
+    def test_positional_construction_rejected(self):
+        with pytest.raises(TypeError):
+            TrainConfig("negative_sampling")
+
+    def test_round_trips_through_dict(self):
+        config = TrainConfig(epochs=7, lr=0.01, job="kvsall")
+        clone = TrainConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown TrainConfig keys.*bogus"):
+            TrainConfig.from_dict({"epochs": 3, "bogus": 1})
+
+
+class TestDiscoveryConfig:
+    def test_positional_construction_rejected(self):
+        with pytest.raises(TypeError):
+            DiscoveryConfig("entity_frequency")
+
+    def test_round_trips_through_dict(self):
+        config = DiscoveryConfig(strategy="uniform", top_n=10, workers=2)
+        clone = DiscoveryConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown DiscoveryConfig keys"):
+            DiscoveryConfig.from_dict({"strategy": "uniform", "nope": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(top_n=0)
+        with pytest.raises(ValueError):
+            DiscoveryConfig(workers=0)
+
+    def test_with_returns_updated_copy(self):
+        base = DiscoveryConfig()
+        changed = base.with_(top_n=9)
+        assert changed.top_n == 9
+        assert base.top_n == 500
+
+    def test_config_object_drives_discover_facts(self, trained_distmult, tiny_graph):
+        from repro.discovery import discover_facts
+
+        config = DiscoveryConfig(top_n=20, max_candidates=64, seed=0)
+        from_config = discover_facts(trained_distmult, tiny_graph, config=config)
+        from_kwargs = discover_facts(
+            trained_distmult, tiny_graph, top_n=20, max_candidates=64, seed=0
+        )
+        assert from_config.num_facts == from_kwargs.num_facts
+        assert from_config.strategy == from_kwargs.strategy
+
+
+class TestPublicApi:
+    def test_every_all_name_is_bound(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_workflow_names_exported(self):
+        expected = {
+            "DiscoveryConfig",
+            "TrainConfig",
+            "ModelConfig",
+            "discover_facts",
+            "train_model",
+            "compute_ranks",
+            "MetricsRegistry",
+            "span",
+            "get_registry",
+            "use_registry",
+            "enable_observability",
+            "disable_observability",
+            "write_snapshot",
+        }
+        assert expected <= set(repro.__all__)
+
+
+class TestDeprecationShims:
+    def test_compute_ranks_reference_moved_with_shim(self):
+        from repro.kge.evaluation import compute_ranks_reference as canonical
+
+        with pytest.deprecated_call(match="repro.kge.evaluation"):
+            from repro.kge import compute_ranks_reference
+        assert compute_ranks_reference is canonical
+        assert "compute_ranks_reference" not in __import__("repro.kge").kge.__all__
+
+    def test_unknown_kge_attribute_still_raises(self):
+        import repro.kge
+
+        with pytest.raises(AttributeError):
+            repro.kge.definitely_not_a_thing

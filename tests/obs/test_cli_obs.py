@@ -1,0 +1,142 @@
+"""CLI observability: --metrics-out snapshots and the `repro obs` viewer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.kg import save_dataset_dir
+from repro.kge import create_model, save_model
+
+
+@pytest.fixture()
+def checkpoint(tmp_path, tiny_graph):
+    model = create_model(
+        "distmult",
+        num_entities=tiny_graph.num_entities,
+        num_relations=tiny_graph.num_relations,
+        dim=8,
+        seed=0,
+    )
+    path = tmp_path / "model.npz"
+    save_model(model, path)
+    return path
+
+
+@pytest.fixture()
+def dataset_dir(tmp_path, tiny_graph):
+    directory = tmp_path / "tinyds"
+    save_dataset_dir(tiny_graph, directory)
+    return directory
+
+
+class TestMetricsOut:
+    def test_discover_writes_snapshot_with_span_timings(
+        self, checkpoint, dataset_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "discover", str(checkpoint), str(dataset_dir),
+                "--top-n", "40", "--max-candidates", "64", "--limit", "2",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "metrics snapshot written to" in capsys.readouterr().out
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        discover = snapshot["spans"]["discover"]
+        rank = discover["children"]["rank"]
+        # The headline phases are all present and timings reconcile:
+        # children never account for more wall time than their parent.
+        assert {"discover.weights", "discover.generate", "rank"} <= set(
+            discover["children"]
+        )
+        assert {"rank.filter", "rank.score"} <= set(rank["children"])
+        for parent in (discover, rank):
+            child_wall = sum(
+                child["wall_seconds"] for child in parent["children"].values()
+            )
+            assert child_wall <= parent["wall_seconds"]
+        assert snapshot["counters"]["discover.candidates_count"] > 0
+
+    def test_train_writes_snapshot_with_train_spans(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "train", str(dataset_dir), "distmult",
+                "--dim", "8", "--epochs", "2",
+                "--output", str(tmp_path / "ckpt.npz"),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        train = snapshot["spans"]["train"]
+        assert "train.epoch" in train["children"]
+        assert snapshot["counters"]["train.epochs_count"] == 2
+        capsys.readouterr()
+
+    def test_without_flag_no_snapshot_and_obs_stays_disabled(
+        self, checkpoint, dataset_dir, tmp_path, capsys
+    ):
+        from repro.obs import get_registry
+
+        code = main(
+            [
+                "discover", str(checkpoint), str(dataset_dir),
+                "--top-n", "40", "--max-candidates", "64", "--limit", "2",
+            ]
+        )
+        assert code == 0
+        assert not get_registry().enabled
+        assert not list(tmp_path.glob("*.json"))
+        capsys.readouterr()
+
+
+class TestObsCommand:
+    @pytest.fixture()
+    def snapshot_file(self, checkpoint, dataset_dir, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        main(
+            [
+                "discover", str(checkpoint), str(dataset_dir),
+                "--top-n", "40", "--max-candidates", "64", "--limit", "2",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        capsys.readouterr()
+        return metrics
+
+    def test_table_render_default(self, snapshot_file, capsys):
+        assert main(["obs", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "discover" in out
+
+    def test_prometheus_render(self, snapshot_file, capsys):
+        assert main(["obs", str(snapshot_file), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_span_wall_seconds_total{path="discover"}' in out
+
+    def test_json_render_to_file(self, snapshot_file, tmp_path, capsys):
+        out_path = tmp_path / "render.json"
+        assert main(
+            ["obs", str(snapshot_file), "--format", "json", "-o", str(out_path)]
+        ) == 0
+        assert "spans" in json.loads(out_path.read_text(encoding="utf-8"))
+        capsys.readouterr()
+
+    def test_missing_snapshot_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", str(tmp_path / "nope.json")])
+
+    def test_invalid_json_exits(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["obs", str(bad)])

@@ -1,0 +1,107 @@
+"""Exporter golden files and snapshot writing.
+
+The snapshot is built through the public ``record_span``/metric APIs with
+exact values (no clocks), so the renders are fully deterministic and the
+golden files pin the exact wire formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EXPORTER_FORMATS,
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+    render_table,
+    write_snapshot,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def build_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("discover.facts_count").inc(3)
+    reg.counter("rank.rows_scored_count").inc(112)
+    reg.gauge("train.loss").set(0.5)
+    hist = reg.histogram("train.epoch_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(2.0)
+    reg.record_span(("discover",), 2.0, 1.5)
+    reg.record_span(("discover", "rank"), 1.0, 0.75, count=2)
+    reg.record_span(("discover", "rank", "rank.score"), 0.25, 0.125, count=2)
+    return reg
+
+
+class TestGoldenFiles:
+    def test_json_matches_golden(self):
+        got = render_json(build_registry().snapshot())
+        assert got == (GOLDEN / "snapshot.json").read_text(encoding="utf-8")
+
+    def test_prometheus_matches_golden(self):
+        got = render_prometheus(build_registry().snapshot())
+        assert got == (GOLDEN / "snapshot.prom").read_text(encoding="utf-8")
+
+    def test_json_round_trips_to_identical_render(self):
+        text = render_json(build_registry().snapshot())
+        assert render_json(json.loads(text)) == text
+
+
+class TestPrometheusFormat:
+    def test_metric_names_are_sanitized_and_prefixed(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with@chars").inc()
+        text = render_prometheus(reg.snapshot())
+        assert "repro_weird_name_with_chars 1" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(build_registry().snapshot())
+        assert 'repro_train_epoch_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_train_epoch_seconds_count 2" in text
+
+    def test_span_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.record_span(('evil"path',), 1.0)
+        text = render_prometheus(reg.snapshot())
+        assert 'path="evil\\"path"' in text
+
+
+class TestTable:
+    def test_table_sections_present(self):
+        text = render_table(build_registry().snapshot())
+        assert "metrics" in text
+        assert "histograms" in text
+        assert "spans" in text
+        assert "discover.facts_count" in text
+        # Child spans are indented under their parent.
+        assert "\n      rank.score" in text
+
+    def test_empty_snapshot_renders_placeholder(self):
+        assert "(empty snapshot)" in render_table(MetricsRegistry().snapshot())
+
+
+class TestWriteSnapshot:
+    def test_writes_registry_as_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_snapshot(build_registry(), str(path))
+        assert json.loads(path.read_text(encoding="utf-8"))["counters"][
+            "discover.facts_count"
+        ] == 3
+
+    def test_accepts_plain_snapshot_and_other_formats(self, tmp_path):
+        snapshot = build_registry().snapshot()
+        path = tmp_path / "m.prom"
+        write_snapshot(snapshot, str(path), fmt="prometheus")
+        assert path.read_text(encoding="utf-8").startswith("# TYPE ")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown exporter format"):
+            write_snapshot(build_registry(), str(tmp_path / "m"), fmt="xml")
+
+    def test_format_registry_is_complete(self):
+        assert set(EXPORTER_FORMATS) == {"json", "prometheus", "table"}

@@ -1,0 +1,158 @@
+"""The unified result API: Reportable protocol and deprecated key aliases."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import DeprecatedKeyDict, Reportable, ReportableMixin, json_default
+
+
+class TestDeprecatedKeyDict:
+    def make(self):
+        return DeprecatedKeyDict(
+            {"facts_count": 5, "mrr": 0.5},
+            {"num_facts": "facts_count"},
+            owner="Test.summary()",
+        )
+
+    def test_canonical_keys_resolve_silently(self):
+        import warnings
+
+        summary = self.make()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert summary["facts_count"] == 5
+
+    def test_alias_resolves_with_warning(self):
+        summary = self.make()
+        with pytest.deprecated_call(match="use 'facts_count'"):
+            assert summary["num_facts"] == 5
+
+    def test_iteration_and_serialisation_are_canonical_only(self):
+        summary = self.make()
+        assert set(summary) == {"facts_count", "mrr"}
+        assert "num_facts" not in json.loads(json.dumps(summary))
+
+    def test_contains_accepts_aliases_silently(self):
+        import warnings
+
+        summary = self.make()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert "num_facts" in summary
+            assert "facts_count" in summary
+            assert "bogus" not in summary
+
+    def test_get_routes_through_alias(self):
+        summary = self.make()
+        with pytest.deprecated_call():
+            assert summary.get("num_facts") == 5
+        assert summary.get("bogus", -1) == -1
+
+    def test_unknown_key_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            self.make()["bogus"]
+
+    def test_alias_must_target_existing_key(self):
+        with pytest.raises(KeyError, match="missing canonical key"):
+            DeprecatedKeyDict({"a": 1}, {"old": "gone"})
+
+
+class _Result(ReportableMixin):
+    def summary(self):
+        return {"facts_count": np.int64(3), "mrr": np.float64(0.25)}
+
+
+class TestReportableMixin:
+    def test_to_dict_copies_summary(self):
+        result = _Result()
+        payload = result.to_dict()
+        assert payload == {"facts_count": 3, "mrr": 0.25}
+        payload["facts_count"] = 99
+        assert result.to_dict()["facts_count"] == 3
+
+    def test_to_json_handles_numpy_scalars(self):
+        assert json.loads(_Result().to_json()) == {"facts_count": 3, "mrr": 0.25}
+
+    def test_summary_must_be_implemented(self):
+        class Bare(ReportableMixin):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare().summary()
+
+    def test_satisfies_protocol(self):
+        assert isinstance(_Result(), Reportable)
+
+
+class TestJsonDefault:
+    def test_numpy_scalar_and_array(self):
+        assert json_default(np.float32(1.5)) == 1.5
+        assert json_default(np.arange(3)) == [0, 1, 2]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError, match="not JSON serialisable"):
+            json_default(object())
+
+
+class TestResultClassesSpeakReportable:
+    def test_ranking_stats_round_trip(self):
+        from repro.kge.ranking import RankingStats
+
+        stats = RankingStats()
+        stats.candidates_ranked = 10
+        stats.rows_scored = 4
+        assert isinstance(stats, Reportable)
+        clone = RankingStats.from_dict(dict(stats.summary()))
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_guard_report_round_trip(self):
+        from repro.resilience.guards import GuardReport
+
+        report = GuardReport(rollbacks=2, epoch_retries=1, halted=False)
+        assert isinstance(report, Reportable)
+        payload = json.loads(report.to_json())
+        assert payload["guard_rollbacks_count"] == 2
+        with pytest.deprecated_call():
+            assert report.summary()["guard_rollbacks"] == 2
+
+    def test_all_retrofitted_results_satisfy_protocol(self):
+        from repro.discovery.anytime import AnytimeResult
+        from repro.discovery.discover import DiscoveryResult
+        from repro.discovery.protocol import ProtocolResult
+        from repro.experiments.gridsearch import GridPoint, GridSearchResult
+        from repro.experiments.runner import MatrixRow
+        from repro.experiments.workflow import WorkflowReport, WorkflowResult
+
+        for cls in (
+            AnytimeResult,
+            DiscoveryResult,
+            ProtocolResult,
+            GridPoint,
+            MatrixRow,
+            WorkflowReport,
+        ):
+            assert issubclass(cls, ReportableMixin), cls
+        assert GridSearchResult is GridPoint
+        assert WorkflowResult is WorkflowReport
+
+    def test_matrix_row_summary_exposes_canonical_and_alias(self):
+        from repro.experiments.runner import MatrixRow
+
+        row = MatrixRow(
+            dataset="d",
+            model="m",
+            strategy="s",
+            num_facts=7,
+            mrr=0.5,
+            runtime_seconds=1.0,
+            weight_seconds=0.25,
+            efficiency_facts_per_hour=100.0,
+        )
+        summary = row.summary()
+        assert summary["facts_count"] == 7
+        with pytest.deprecated_call():
+            assert summary["num_facts"] == 7

@@ -1,0 +1,143 @@
+"""Span nesting, disabled-mode behaviour, stopwatch and tree helpers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    Stopwatch,
+    flatten_spans,
+    span,
+    span_tree_delta,
+    use_registry,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_build_hierarchy(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        spans = reg.snapshot()["spans"]
+        assert spans["outer"]["count"] == 1
+        assert spans["outer"]["children"]["inner"]["count"] == 2
+
+    def test_sequential_spans_are_siblings(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        spans = reg.snapshot()["spans"]
+        assert set(spans) == {"a", "b"}
+        assert spans["a"]["children"] == {}
+
+    def test_exception_still_records_and_propagates(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with pytest.raises(RuntimeError):
+                with span("risky") as risky:
+                    raise RuntimeError("boom")
+        assert reg.snapshot()["spans"]["risky"]["count"] == 1
+        assert risky.wall_seconds > 0.0
+
+    def test_explicit_registry_overrides_global(self):
+        reg = MetricsRegistry()
+        with span("direct", registry=reg):
+            pass
+        assert "direct" in reg.snapshot()["spans"]
+        assert not get_global_has("direct")
+
+    def test_worker_thread_roots_its_own_subtree(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            with span("work", registry=reg):
+                pass
+
+        with span("main", registry=reg):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        spans = reg.snapshot()["spans"]
+        # The worker's span is a root, not a child of "main".
+        assert set(spans) == {"main", "work"}
+        assert spans["main"]["children"] == {}
+
+
+def get_global_has(name: str) -> bool:
+    from repro.obs import get_registry
+
+    return name in get_registry().snapshot()["spans"]
+
+
+class TestDisabledMode:
+    def test_wall_time_still_measured(self):
+        with span("anything", registry=NullRegistry()) as timer:
+            total = sum(range(1000))
+        assert total == 499500
+        assert timer.wall_seconds > 0.0
+
+    def test_nothing_recorded_by_default(self):
+        from repro.obs import get_registry
+
+        with span("ghost"):
+            pass
+        assert get_registry().snapshot()["spans"] == {}
+
+
+class TestStopwatch:
+    def test_elapsed_grows_and_restart_resets(self):
+        watch = Stopwatch()
+        first = watch.elapsed_seconds
+        second = watch.elapsed_seconds
+        assert second >= first >= 0.0
+        watch.restart()
+        assert watch.elapsed_seconds < second + 1.0
+
+
+class TestTreeHelpers:
+    def _tree(self):
+        reg = MetricsRegistry()
+        reg.record_span(("a",), 2.0, 1.0)
+        reg.record_span(("a", "b"), 0.5, 0.25, count=3)
+        reg.record_span(("c",), 1.0, 0.5)
+        return reg.snapshot()["spans"]
+
+    def test_flatten_spans_paths_and_order(self):
+        flat = flatten_spans(self._tree())
+        assert list(flat) == ["a", "a/b", "c"]
+        assert flat["a/b"] == {
+            "count": 3,
+            "wall_seconds": 0.5,
+            "cpu_seconds": 0.25,
+        }
+
+    def test_span_tree_delta_isolates_new_work(self):
+        reg = MetricsRegistry()
+        reg.record_span(("a",), 2.0, 1.0)
+        before = reg.snapshot()["spans"]
+        reg.record_span(("a",), 1.0, 0.5)
+        reg.record_span(("a", "b"), 0.25, 0.125)
+        delta = span_tree_delta(before, reg.snapshot()["spans"])
+        assert delta["a"]["count"] == 1
+        assert delta["a"]["wall_seconds"] == pytest.approx(1.0)
+        assert delta["a"]["children"]["b"]["count"] == 1
+
+    def test_span_tree_delta_prunes_unchanged_nodes(self):
+        reg = MetricsRegistry()
+        reg.record_span(("a",), 2.0, 1.0)
+        reg.record_span(("c",), 1.0, 0.5)
+        before = reg.snapshot()["spans"]
+        reg.record_span(("c",), 1.0, 0.5)
+        delta = span_tree_delta(before, reg.snapshot()["spans"])
+        assert set(delta) == {"c"}

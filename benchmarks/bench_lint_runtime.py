@@ -1,18 +1,30 @@
-"""Analyzer runtime guard — the full-tree scan must stay interactive.
+"""Analyzer runtime guard — cold vs warm (cached) full-tree scans.
 
 The self-clean test in tier-1 runs the analyzer over ``src/repro`` on
-every pytest invocation, so the scan has to stay cheap.  This benchmark
-times the full-tree scan and asserts a generous ceiling (5 s) far above
-the expected cost (well under a second), guarding against accidentally
-quadratic rules or a runaway file walk.
+every pytest invocation, so the scan has to stay interactive.  With the
+two-pass engine the interesting costs are:
+
+* **cold** — empty cache: parse every file, run pass 1, build the
+  project index, run pass 2;
+* **warm** — every per-module record served from the content-hash
+  cache, pass 2 re-run;
+* **changed-only** — nothing changed, so the cached whole-program
+  findings are reused and pass 2 is skipped entirely;
+* **uncached** — the cacheless path the self-clean gate exercises.
+
+The warm and changed-only runs must stay under 1 s (the incremental
+contract recorded in ``BENCH_lint.json``), and all four modes must
+return byte-identical findings — here the empty set, since tier-1 keeps
+the tree clean.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
-from common import save_and_print
+from common import RESULTS_DIR, save_and_print
 
 from repro.experiments import format_table
 from repro.lint import LintEngine, load_config
@@ -20,32 +32,73 @@ from repro.lint import LintEngine, load_config
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def test_lint_full_tree_runtime(benchmark):
-    config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
-    engine = LintEngine(config)
-    paths = list(config.paths)
-    files = engine.collect_files(paths)
+def _timed(engine: LintEngine, paths, **kwargs):
+    start = time.perf_counter()
+    run = engine.run(paths, **kwargs)
+    return run, time.perf_counter() - start
 
-    findings = benchmark.pedantic(
-        lambda: engine.lint_paths(paths), rounds=3, iterations=1
+
+def test_lint_cold_vs_warm_runtime(benchmark, tmp_path):
+    config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
+    paths = list(config.paths)
+    cache_dir = tmp_path / "lint-cache"
+
+    cold_run, cold = _timed(LintEngine(config, cache_dir=cache_dir), paths)
+    warm_run, warm = _timed(LintEngine(config, cache_dir=cache_dir), paths)
+    changed_run, changed_only = _timed(
+        LintEngine(config, cache_dir=cache_dir), paths, changed_only=True
+    )
+    uncached_run, uncached = _timed(
+        LintEngine(config, use_cache=False), paths
     )
 
-    start = time.perf_counter()
-    engine.lint_paths(paths)
-    elapsed = time.perf_counter() - start
+    # Byte-identity across every mode is the cache's core contract.
+    assert cold_run.findings == []
+    assert warm_run.findings == cold_run.findings
+    assert changed_run.findings == cold_run.findings
+    assert uncached_run.findings == cold_run.findings
+    assert cold_run.cache_misses == cold_run.checked_files
+    assert warm_run.cache_hits == warm_run.checked_files
+    assert changed_run.project_reused and changed_run.changed == []
 
+    benchmark.pedantic(
+        lambda: LintEngine(config, cache_dir=cache_dir).run(
+            paths, changed_only=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        {"mode": "cold", "seconds": round(cold, 3), "cache": "miss x%d" % cold_run.cache_misses},
+        {"mode": "warm", "seconds": round(warm, 3), "cache": "hit x%d" % warm_run.cache_hits},
+        {"mode": "changed-only", "seconds": round(changed_only, 3), "cache": "project reuse"},
+        {"mode": "uncached", "seconds": round(uncached, 3), "cache": "disabled"},
+    ]
     table = format_table(
-        [
-            {
-                "files": len(files),
-                "findings": len(findings),
-                "seconds": round(elapsed, 3),
-                "files_per_second": round(len(files) / max(elapsed, 1e-9)),
-            }
-        ],
-        title="repro.lint — full-tree scan runtime",
+        rows,
+        title="repro.lint — two-pass scan runtime (%d files)"
+        % cold_run.checked_files,
     )
     save_and_print("lint_runtime", table)
 
-    assert findings == []
-    assert elapsed < 5.0
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "files": cold_run.checked_files,
+        "findings": len(cold_run.findings),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "changed_only_seconds": changed_only,
+        "uncached_seconds": uncached,
+        "warm_speedup": cold / max(warm, 1e-9),
+        "changed_only_speedup": cold / max(changed_only, 1e-9),
+        "warm_budget_seconds": 1.0,
+        "byte_identical_findings": True,
+    }
+    (RESULTS_DIR / "BENCH_lint.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    assert cold < 10.0
+    assert warm < 1.0, "cached pass-1 reuse must keep the scan interactive"
+    assert changed_only < 1.0, "--changed-only must skip pass 2 entirely"

@@ -51,6 +51,7 @@ from ..kge.training import train_model
 from ..resilience import (
     CheckpointCorruptError,
     GuardConfig,
+    ResilienceError,
     RetryPolicy,
     RunJournal,
     error_fingerprint,
@@ -570,6 +571,28 @@ def run_matrix(
     return rows
 
 
+def _record_cell_failure(
+    journal: RunJournal | None,
+    state: CampaignState,
+    key: str,
+    attempt: int,
+    error: Exception,
+    typed: bool = False,
+) -> None:
+    """Journal and log one failed cell attempt."""
+    fingerprint = error_fingerprint(error)
+    state.last_error[key] = fingerprint
+    if journal is not None:
+        journal.append("cell_failed", cell=key, attempt=attempt, error=fingerprint)
+    logger.warning(
+        "cell %s failed on attempt %d%s: %s",
+        key,
+        attempt,
+        " (typed resilience error)" if typed else "",
+        fingerprint,
+    )
+
+
 def _rerun_cell(
     journal: RunJournal | None,
     state: CampaignState,
@@ -603,16 +626,16 @@ def _rerun_cell(
                 seed=seed,
                 stats=stats,
             )
-        except Exception as error:
-            fingerprint = error_fingerprint(error)
-            state.last_error[key] = fingerprint
-            if journal is not None:
-                journal.append(
-                    "cell_failed", cell=key, attempt=attempt, error=fingerprint
-                )
-            logger.warning(
-                "cell %s failed on attempt %d: %s", key, attempt, fingerprint
+        except ResilienceError as error:
+            # Typed failures (fault injection, corrupt checkpoints,
+            # exhausted retry budgets) keep their identity in the journal
+            # and logs; a fresh attempt may still retrain from scratch.
+            _record_cell_failure(
+                journal, state, key, attempt, error, typed=True
             )
+            continue
+        except Exception as error:
+            _record_cell_failure(journal, state, key, attempt, error)
             continue
         row = MatrixRow.from_result(dataset_name, model_name, result)
         if journal is not None:

@@ -16,6 +16,8 @@ import scipy.sparse as sp
 from .triples import TripleSet
 
 __all__ = [
+    "SUBJECT",
+    "OBJECT",
     "undirected_adjacency",
     "to_networkx",
     "degrees",
@@ -47,9 +49,7 @@ def undirected_adjacency(triples: TripleSet) -> sp.csr_matrix:
     cols = np.concatenate([o[mask], s[mask]])
     data = np.ones(rows.shape[0], dtype=np.int64)
     adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    # ``adj`` is a scipy sparse matrix, not an autograd Tensor: ``.data`` is
-    # its raw CSR value buffer, so RPR003 does not apply here.
-    adj.data[:] = 1  # collapse parallel edges  # lint: disable=RPR003
+    adj.data[:] = 1  # collapse parallel edges
     return adj
 
 

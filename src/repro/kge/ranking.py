@@ -231,15 +231,21 @@ class RankingEngine:
         self.workers = workers
         self.chunk_size = chunk_size
         self.stats = RankingStats()
+        # One engine may serve concurrent compute_ranks calls (and the
+        # pool path runs accounting on the consumer thread); the locks
+        # keep the counters and the filter LRU coherent.
+        self._stats_lock = Lock()
         self._filters: OrderedDict[tuple[int, str], GroupedFilter] = OrderedDict()
         self._filter_refs: dict[int, TripleSet] = {}
+        self._filters_lock = Lock()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero the cumulative counters (the cache is left intact)."""
-        self.stats = RankingStats()
+        with self._stats_lock:
+            self.stats = RankingStats()
 
     def compute_ranks(
         self,
@@ -296,8 +302,9 @@ class RankingEngine:
         sorted_inverse = inverse[order]
         bounds = np.searchsorted(sorted_inverse, np.arange(num_unique + 1))
 
-        self.stats.candidates_ranked += len(triples)
-        self.stats.unique_queries += num_unique
+        with self._stats_lock:
+            self.stats.candidates_ranked += len(triples)
+            self.stats.unique_queries += num_unique
 
         starts = stops = known_flat = None
         if filter_triples is not None:
@@ -305,7 +312,8 @@ class RankingEngine:
                 grouped = self._grouped_filter(filter_triples, side)
                 starts, stops = grouped.segments(grouped.query_keys(ua, ub))
                 known_flat = grouped.entities
-            self.stats.filter_seconds += filter_span.wall_seconds
+            with self._stats_lock:
+                self.stats.filter_seconds += filter_span.wall_seconds
 
         ranks = np.zeros(len(triples))
         scored_before = self.stats.rows_scored
@@ -351,18 +359,17 @@ class RankingEngine:
                 ranks[cand] = greater + (equal - 1) / 2.0 + 1.0
         # Candidates served without a fresh model call: query dedup
         # within this call plus cache hits carried over from earlier ones.
-        reused = len(triples) - (self.stats.rows_scored - scored_before)
-        self.stats.rows_reused += reused
+        with self._stats_lock:
+            scored_delta = self.stats.rows_scored - scored_before
+            hits_delta = self.stats.cache_hits - hits_before
+            reused = len(triples) - scored_delta
+            self.stats.rows_reused += reused
         registry = get_registry()
         if registry.enabled:
             registry.counter("rank.candidates_ranked_count").inc(len(triples))
             registry.counter("rank.unique_queries_count").inc(num_unique)
-            registry.counter("rank.rows_scored_count").inc(
-                self.stats.rows_scored - scored_before
-            )
-            registry.counter("rank.cache_hits_count").inc(
-                self.stats.cache_hits - hits_before
-            )
+            registry.counter("rank.rows_scored_count").inc(scored_delta)
+            registry.counter("rank.cache_hits_count").inc(hits_delta)
             registry.counter("rank.rows_reused_count").inc(reused)
         return ranks
 
@@ -421,9 +428,10 @@ class RankingEngine:
 
         def account(lo, hi, loaded):
             rows, sorted_rows, scored, hits, seconds = loaded
-            self.stats.rows_scored += scored
-            self.stats.cache_hits += hits
-            self.stats.score_seconds += seconds
+            with self._stats_lock:
+                self.stats.rows_scored += scored
+                self.stats.cache_hits += hits
+                self.stats.score_seconds += seconds
             return lo, hi, rows, sorted_rows
 
         if self.workers == 1 or len(chunks) <= 1:
@@ -468,15 +476,23 @@ class RankingEngine:
         reference kept here prevents id reuse while the entry lives.
         """
         key = (id(triples), side)
-        cached = self._filters.get(key)
-        if cached is not None:
-            self._filters.move_to_end(key)
-            return cached
+        with self._filters_lock:
+            cached = self._filters.get(key)
+            if cached is not None:
+                self._filters.move_to_end(key)
+                return cached
+        # Build outside the lock — index construction is the slow part —
+        # and re-check on insert in case a concurrent call won the race.
         grouped = GroupedFilter(triples, side)
-        self._filters[key] = grouped
-        self._filter_refs[id(triples)] = triples
-        while len(self._filters) > 8:
-            (old_id, _), _ = self._filters.popitem(last=False)
-            if not any(fid == old_id for fid, _ in self._filters):
-                self._filter_refs.pop(old_id, None)
+        with self._filters_lock:
+            existing = self._filters.get(key)
+            if existing is not None:
+                self._filters.move_to_end(key)
+                return existing
+            self._filters[key] = grouped
+            self._filter_refs[id(triples)] = triples
+            while len(self._filters) > 8:
+                (old_id, _), _ = self._filters.popitem(last=False)
+                if not any(fid == old_id for fid, _ in self._filters):
+                    self._filter_refs.pop(old_id, None)
         return grouped

@@ -3,10 +3,17 @@
 The paper's experimental claims rest on invariants no framework enforces
 for us: deterministic sampling (every strategy draws from seeded
 ``np.random.Generator`` streams) and a correct, lean autodiff tape.  This
-package is an AST-based analyzer with a rule registry, per-file parallel
-walking, inline ``# lint: disable=RPRxxx`` suppressions, and text/JSON
-reporters — run as ``python -m repro.lint``, ``repro lint``, or the
-``repro-lint`` console script.
+package is an AST-based analyzer with a rule registry, inline
+``# lint: disable=RPRxxx`` suppressions, and text/JSON/SARIF reporters —
+run as ``python -m repro.lint``, ``repro lint``, or the ``repro-lint``
+console script.
+
+The engine runs in two passes.  Pass 1 analyses each file independently
+(rules RPR001–RPR009) and extracts a per-module fact record; records
+and findings are cached on disk by content digest.  Pass 2 assembles
+the records into a whole-program :class:`~repro.lint.callgraph.ProjectIndex`
+with a resolved call graph and runs the inter-procedural rules
+(RPR010–RPR014) over it.
 
 Rules
 -----
@@ -24,6 +31,16 @@ RPR008    sparse-grad safety — dense ``.grad`` reads in kge/autograd
 RPR009    observability — no raw ``time.*`` clocks in
           kge/discovery/experiments (use ``repro.obs.span``);
           ``summary()``-bearing result classes speak ``Reportable``
+RPR010    determinism taint — unseeded RNG / unordered iteration
+          reachable from the pipeline entry points (whole-program)
+RPR011    concurrency safety — shared state mutated without the
+          owning lock in thread-facing code (whole-program)
+RPR012    Reportable drift — ``summary()`` keys off the canonical
+          ``*_seconds``/``*_count`` vocabulary (whole-program)
+RPR013    export integrity — unresolved project imports, broken
+          ``__all__`` re-export chains, shadowed bindings (whole-program)
+RPR014    exception contracts — broad excepts that swallow typed
+          project errors raised in the try body (whole-program)
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -31,17 +48,32 @@ The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
 hold on every future change.
 """
 
+from .baseline import (
+    fingerprint,
+    load_baseline,
+    match_baseline,
+    render_baseline,
+    write_baseline,
+)
+from .cache import CACHE_VERSION, LintCache, default_cache_dir
+from .callgraph import CallGraph, ProjectIndex, node_key, split_node
 from .config import LintConfig, find_pyproject, load_config
-from .engine import LintEngine
+from .engine import LintEngine, LintRun
+from .explain import render_rules_doc
 from .findings import PARSE_ERROR_ID, Finding
-from .reporters import render_json, render_text
+from .fixes import FixResult, fix_all_entries, fix_file, render_diff
+from .index import ModuleInfo, build_module_info
+from .reporters import render_json, render_sarif, render_text
 from .rules import (
     ModuleContext,
+    ProjectRule,
     Rule,
     all_rules,
     derive_module_name,
     get_rule,
+    local_rules,
     numpy_aliases,
+    project_rules,
     register_rule,
 )
 from .suppress import filter_suppressed, suppressed_rule_ids
@@ -49,8 +81,13 @@ from .suppress import filter_suppressed, suppressed_rule_ids
 # Importing the rule modules populates the registry.
 from . import (
     rules_api,
+    rules_concurrency,
+    rules_determinism,
+    rules_exceptions,
+    rules_exports,
     rules_hygiene,
     rules_obs,
+    rules_reportable,
     rules_resilience,
     rules_rng,
     rules_sparse,
@@ -62,23 +99,52 @@ __all__ = [
     "Finding",
     "PARSE_ERROR_ID",
     "Rule",
+    "ProjectRule",
     "ModuleContext",
+    "ModuleInfo",
+    "ProjectIndex",
+    "CallGraph",
+    "LintRun",
+    "LintCache",
+    "CACHE_VERSION",
+    "FixResult",
     "register_rule",
     "all_rules",
+    "local_rules",
+    "project_rules",
     "get_rule",
     "derive_module_name",
     "numpy_aliases",
+    "node_key",
+    "split_node",
+    "build_module_info",
+    "default_cache_dir",
     "LintConfig",
     "find_pyproject",
     "load_config",
     "LintEngine",
     "render_text",
     "render_json",
+    "render_sarif",
+    "render_rules_doc",
+    "render_diff",
+    "render_baseline",
+    "fingerprint",
+    "load_baseline",
+    "match_baseline",
+    "write_baseline",
+    "fix_all_entries",
+    "fix_file",
     "filter_suppressed",
     "suppressed_rule_ids",
     "rules_api",
+    "rules_concurrency",
+    "rules_determinism",
+    "rules_exceptions",
+    "rules_exports",
     "rules_hygiene",
     "rules_obs",
+    "rules_reportable",
     "rules_resilience",
     "rules_rng",
     "rules_sparse",

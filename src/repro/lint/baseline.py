@@ -1,0 +1,78 @@
+"""Baseline files: adopt the analyzer on a tree with known findings.
+
+A baseline records fingerprints of accepted findings; subsequent runs
+report only findings *not* in the baseline, so CI can gate on "no new
+violations" while the backlog is burned down.  Fingerprints are
+``(rule_id, path, message)`` — deliberately line-free, so unrelated
+edits that shift code do not resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "match_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.rule_id, Path(finding.path).as_posix(), finding.message)
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    entries = sorted(
+        {
+            (rule_id, path, message)
+            for rule_id, path, message in map(fingerprint, findings)
+        }
+    )
+    payload = {
+        "version": _BASELINE_VERSION,
+        "findings": [
+            {"rule_id": rule_id, "path": path, "message": message}
+            for rule_id, path, message in entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: list[Finding], path: Path | str) -> None:
+    Path(path).write_text(render_baseline(findings), encoding="utf-8")
+
+
+def load_baseline(path: Path | str) -> frozenset[Fingerprint]:
+    """Fingerprint set from a baseline file; raises ValueError on junk."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValueError(f"not a repro-lint baseline file: {path}")
+    out = set()
+    for entry in payload["findings"]:
+        out.add((entry["rule_id"], entry["path"], entry["message"]))
+    return frozenset(out)
+
+
+def match_baseline(
+    findings: list[Finding], baseline: frozenset[Fingerprint]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined)."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if fingerprint(finding) in baseline else new).append(finding)
+    return new, known

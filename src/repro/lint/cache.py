@@ -1,0 +1,195 @@
+"""On-disk incremental cache for the two-pass engine.
+
+Pass 1 is purely local — a module's fact record and per-file findings
+are a function of its source text and the enabled rule set — so both
+are cached under the module's content digest and reused on a match
+without re-parsing.  Pass 2 is whole-program: its findings are cached
+under a *project digest* (every module digest plus the enabled rule
+ids) and reused only when nothing in the tree changed.
+
+A cache written by a different engine version or rule set is ignored
+wholesale rather than migrated; a corrupt cache file is treated as
+cold.  Writes go through a temp file + ``os.replace`` so a crashed run
+never leaves a torn cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from .findings import Finding
+from .index import ModuleInfo
+
+__all__ = ["CACHE_VERSION", "LintCache", "content_digest", "default_cache_dir"]
+
+CACHE_VERSION = 1
+
+_CACHE_FILENAME = "cache.json"
+
+
+def default_cache_dir(config_source: str) -> Path | None:
+    """``.repro-lint-cache/`` next to the pyproject that configured us."""
+    if not config_source or config_source == "<defaults>":
+        return None
+    return Path(config_source).parent / ".repro-lint-cache"
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        rule_id=data["rule_id"],
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        message=data["message"],
+    )
+
+
+class LintCache:
+    """Digest-keyed store of pass-1 records and pass-2 findings.
+
+    Constructed with ``directory=None`` the cache is inert: every lookup
+    misses and :meth:`save` does nothing, so the engine needs no
+    conditionals around it.  Lookups and stores are thread-safe — pass 1
+    runs them from worker threads.
+    """
+
+    def __init__(
+        self, directory: Path | None, rule_ids: tuple[str, ...]
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.rule_ids = tuple(sorted(rule_ids))
+        self._lock = threading.Lock()
+        self._modules: dict[str, dict] = {}
+        self._project: dict | None = None
+        self._loaded_modules = self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / _CACHE_FILENAME
+
+    def _load(self) -> dict[str, dict]:
+        if self.path is None or not self.path.is_file():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("version") != CACHE_VERSION:
+            return {}
+        if tuple(payload.get("rules", ())) != self.rule_ids:
+            return {}
+        project = payload.get("project")
+        if isinstance(project, dict) and "digest" in project:
+            with self._lock:
+                self._project = project
+        modules = payload.get("modules")
+        return modules if isinstance(modules, dict) else {}
+
+    def save(self) -> None:
+        """Atomically persist everything stored during this run."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {
+                "version": CACHE_VERSION,
+                "rules": list(self.rule_ids),
+                "modules": dict(self._modules),
+                "project": self._project,
+            }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Drop the persisted cache file and all in-memory entries."""
+        with self._lock:
+            self._modules.clear()
+            self._project = None
+            self._loaded_modules = {}
+        if self.path is not None and self.path.exists():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+    # Pass-1 entries
+    # ------------------------------------------------------------------
+    def lookup_module(
+        self, path: str, digest: str
+    ) -> tuple[ModuleInfo, list[Finding]] | None:
+        entry = self._loaded_modules.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            info = ModuleInfo.from_dict(entry["info"])
+            findings = [_finding_from_dict(f) for f in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+        # Keep validated entries alive across save() even when untouched.
+        with self._lock:
+            self._modules.setdefault(path, entry)
+        return info, findings
+
+    def store_module(
+        self, path: str, digest: str, info: ModuleInfo, findings: list[Finding]
+    ) -> None:
+        entry = {
+            "digest": digest,
+            "info": info.to_dict(),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        with self._lock:
+            self._modules[path] = entry
+
+    def cached_digests(self) -> dict[str, str]:
+        """Path → digest of every entry loaded from disk."""
+        return {
+            path: entry.get("digest", "")
+            for path, entry in self._loaded_modules.items()
+            if isinstance(entry, dict)
+        }
+
+    # ------------------------------------------------------------------
+    # Pass-2 (project) entry
+    # ------------------------------------------------------------------
+    def project_digest(self, module_digests: dict[str, str]) -> str:
+        hasher = hashlib.sha256()
+        for path in sorted(module_digests):
+            hasher.update(path.encode("utf-8"))
+            hasher.update(module_digests[path].encode("utf-8"))
+        hasher.update("|".join(self.rule_ids).encode("utf-8"))
+        return hasher.hexdigest()
+
+    def lookup_project(self, digest: str) -> list[Finding] | None:
+        with self._lock:
+            project = self._project
+        if project is None or project.get("digest") != digest:
+            return None
+        try:
+            return [_finding_from_dict(f) for f in project["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(self, digest: str, findings: list[Finding]) -> None:
+        entry = {
+            "digest": digest,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        with self._lock:
+            self._project = entry

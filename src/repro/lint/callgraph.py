@@ -1,0 +1,374 @@
+"""Pass 2 substrate: name resolution, import graph, and the call graph.
+
+:class:`ProjectIndex` holds every :class:`~repro.lint.index.ModuleInfo`
+of a run and answers the cross-module questions pass 1 cannot: what an
+absolute dotted name resolves to (following binding chains through
+package ``__init__`` re-exports), which project modules a module
+imports, and which modules transitively depend on a changed one.
+
+:class:`CallGraph` layers call-edge resolution on top: direct calls,
+``self.method()`` dispatch with base-class lookup across modules,
+``self.attr.method()`` through inferred attribute types, locally-typed
+instances (``x = Foo(); x.m()``), and functions handed to executors.
+It provides reachability with witness paths (RPR010/RPR011) and a
+transitive raise-set fixpoint (RPR014).
+
+Everything here is recomputed per run from the (cached) per-module
+records — only pass 1 is persisted, so resolution never goes stale.
+"""
+
+from __future__ import annotations
+
+from .index import CallSite, FunctionInfo, ModuleInfo
+
+__all__ = ["CallGraph", "ProjectIndex", "node_key", "split_node"]
+
+
+def node_key(module: str, qual: str) -> str:
+    return f"{module}:{qual}"
+
+
+def split_node(key: str) -> tuple[str, str]:
+    module, _, qual = key.partition(":")
+    return module, qual
+
+
+class ProjectIndex:
+    """All module fact records of one run, with cross-module resolution."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = dict(modules)
+        #: Top-level package names present in the index ("repro", ...).
+        self.roots = frozenset(
+            name.split(".")[0] for name in self.modules
+        )
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, target: str) -> tuple[str, str]:
+        """Resolve an absolute dotted ``target`` through binding chains.
+
+        Returns ``(kind, qual)`` where kind is one of:
+
+        - ``"module"``  — qual is the module name;
+        - ``"symbol"``  — qual is ``"module:Sym"`` or ``"module:Cls.attr"``;
+        - ``"missing"`` — the owning module is indexed but the symbol
+          chain breaks there (the RPR013 signal);
+        - ``"unknown"`` — project-rooted but the module is not indexed
+          (partial index, e.g. single-file linting) — never flagged;
+        - ``"external"`` — outside the project entirely.
+        """
+        seen: set[str] = set()
+        while True:
+            if target in seen:
+                return ("missing", target)
+            seen.add(target)
+            parts = target.split(".")
+            matched = None
+            for cut in range(len(parts), 0, -1):
+                module = ".".join(parts[:cut])
+                if module in self.modules:
+                    matched = (module, parts[cut:])
+                    break
+            if matched is None:
+                if parts[0] in self.roots:
+                    return ("unknown", target)
+                return ("external", target)
+            module, rest = matched
+            if not rest:
+                return ("module", module)
+            info = self.modules[module]
+            head = rest[0]
+            if head in info.definitions and info.definitions[head] != "import":
+                return ("symbol", node_key(module, ".".join(rest)))
+            if head in info.bindings:
+                binding = info.bindings[head]
+                target = ".".join([binding.target] + rest[1:])
+                continue
+            return ("missing", target)
+
+    def resolve_class(
+        self, module: str, dotted: tuple[str, ...]
+    ) -> tuple[str, str] | None:
+        """Resolve a dotted class reference *as seen from* ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        root = dotted[0]
+        if len(dotted) == 1 and root in info.classes:
+            return (module, root)
+        if root in info.bindings:
+            target = ".".join([info.bindings[root].target] + list(dotted[1:]))
+            kind, qual = self.resolve(target)
+            if kind == "symbol":
+                owner, sym = split_node(qual)
+                if "." not in sym and sym in self.modules[owner].classes:
+                    return (owner, sym)
+        return None
+
+    # ------------------------------------------------------------------
+    # Exception hierarchy
+    # ------------------------------------------------------------------
+    def exception_ancestry(self, module: str, cls_name: str) -> frozenset[str]:
+        """The class, its project ancestors (``mod:Cls``), and builtin bases.
+
+        Builtin bases appear by bare name (``"ValueError"``); every chain
+        implicitly ends at ``Exception``/``BaseException``.
+        """
+        out: set[str] = set()
+        stack = [(module, cls_name)]
+        while stack:
+            mod, name = stack.pop()
+            key = node_key(mod, name)
+            if key in out:
+                continue
+            out.add(key)
+            info = self.modules.get(mod)
+            cls = info.classes.get(name) if info else None
+            if cls is None:
+                continue
+            for base in cls.bases:
+                resolved = self.resolve_class(mod, base)
+                if resolved is not None:
+                    stack.append(resolved)
+                else:
+                    out.add(base[-1])
+        out.update(("Exception", "BaseException"))
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Import graph
+    # ------------------------------------------------------------------
+    def import_graph(self) -> dict[str, frozenset[str]]:
+        """Project modules each module's bindings reach into."""
+        graph: dict[str, frozenset[str]] = {}
+        for name, info in self.modules.items():
+            deps: set[str] = set()
+            for binding in info.bindings.values():
+                kind, qual = self.resolve(binding.target)
+                if kind == "module":
+                    deps.add(qual)
+                elif kind == "symbol":
+                    deps.add(split_node(qual)[0])
+                elif kind == "missing":
+                    parts = qual.split(".")
+                    for cut in range(len(parts), 0, -1):
+                        prefix = ".".join(parts[:cut])
+                        if prefix in self.modules:
+                            deps.add(prefix)
+                            break
+            deps.discard(name)
+            graph[name] = frozenset(deps)
+        return graph
+
+    def transitive_importers(self, changed: set[str]) -> frozenset[str]:
+        """``changed`` plus every module that (transitively) imports one.
+
+        This is the cache-invalidation frontier: a re-export or signature
+        change in module M can only alter analysis results in modules
+        that can reach M through their imports.
+        """
+        reverse: dict[str, set[str]] = {name: set() for name in self.modules}
+        for importer, deps in self.import_graph().items():
+            for dep in deps:
+                if dep in reverse:
+                    reverse[dep].add(importer)
+        out = set(changed) & set(self.modules)
+        queue = list(out)
+        while queue:
+            current = queue.pop()
+            for importer in reverse.get(current, ()):
+                if importer not in out:
+                    out.add(importer)
+                    queue.append(importer)
+        return frozenset(out)
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.nodes: dict[str, tuple[str, FunctionInfo]] = {}
+        for module, info in index.modules.items():
+            for qual, fn in info.functions.items():
+                self.nodes[node_key(module, qual)] = (module, fn)
+        self.edges: dict[str, list[tuple[str, CallSite]]] = {}
+        for key, (module, fn) in self.nodes.items():
+            edges: list[tuple[str, CallSite]] = []
+            for site in fn.calls:
+                for target in self.resolve_call(module, fn, site.parts):
+                    edges.append((target, site))
+            for parts in fn.submitted:
+                for target in self.resolve_call(module, fn, parts):
+                    edges.append(
+                        (target, CallSite(parts, fn.lineno, fn.col))
+                    )
+            self.edges[key] = edges
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def _method_node(
+        self, module: str, cls_name: str, method: str
+    ) -> str | None:
+        """Look ``method`` up on a class, walking project base classes."""
+        seen: set[tuple[str, str]] = set()
+        stack = [(module, cls_name)]
+        while stack:
+            mod, name = stack.pop(0)
+            if (mod, name) in seen:
+                continue
+            seen.add((mod, name))
+            info = self.index.modules.get(mod)
+            cls = info.classes.get(name) if info else None
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return node_key(mod, cls.methods[method])
+            for base in cls.bases:
+                resolved = self.index.resolve_class(mod, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def _node_for_symbol(self, module: str, sym: str) -> str | None:
+        info = self.index.modules.get(module)
+        if info is None:
+            return None
+        parts = sym.split(".")
+        if len(parts) == 1:
+            if sym in info.functions:
+                return node_key(module, sym)
+            if sym in info.classes:
+                return self._method_node(module, sym, "__init__")
+            return None
+        if parts[0] in info.classes and len(parts) == 2:
+            return self._method_node(module, parts[0], parts[1])
+        return None
+
+    def resolve_call(
+        self, module: str, fn: FunctionInfo, parts: tuple[str, ...]
+    ) -> list[str]:
+        info = self.index.modules.get(module)
+        if info is None or not parts:
+            return []
+        root = parts[0]
+        # self.method() / cls.method() / self.attr.method()
+        if root in ("self", "cls") and fn.cls is not None:
+            if len(parts) == 2:
+                target = self._method_node(module, fn.cls, parts[1])
+                return [target] if target else []
+            if len(parts) >= 3:
+                cls_info = info.classes.get(fn.cls)
+                ctor = cls_info.attr_types.get(parts[1]) if cls_info else None
+                if ctor is not None:
+                    resolved = self.index.resolve_class(module, ctor)
+                    if resolved is not None:
+                        target = self._method_node(
+                            resolved[0], resolved[1], parts[-1]
+                        )
+                        return [target] if target else []
+            return []
+        # Closures defined in this function.
+        if root in fn.nested and len(parts) == 1:
+            return [node_key(module, fn.nested[root])]
+        # Locally-typed instances: x = Foo(); x.m()
+        if root in fn.local_types and len(parts) == 2:
+            resolved = self.index.resolve_class(module, fn.local_types[root])
+            if resolved is not None:
+                target = self._method_node(resolved[0], resolved[1], parts[1])
+                return [target] if target else []
+            return []
+        # Names defined in this module.
+        if root in info.definitions and info.definitions[root] != "import":
+            target = self._node_for_symbol(module, ".".join(parts))
+            return [target] if target else []
+        # Imported names — follow the binding chain.
+        if root in info.bindings:
+            absolute = ".".join([info.bindings[root].target] + list(parts[1:]))
+            kind, qual = self.index.resolve(absolute)
+            if kind == "symbol":
+                owner, sym = split_node(qual)
+                target = self._node_for_symbol(owner, sym)
+                return [target] if target else []
+        return []
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable(self, entries: list[str]) -> dict[str, str | None]:
+        """BFS from ``entries``; maps each reached node to its parent."""
+        parents: dict[str, str | None] = {}
+        queue: list[str] = []
+        for entry in entries:
+            if entry in self.nodes and entry not in parents:
+                parents[entry] = None
+                queue.append(entry)
+        while queue:
+            current = queue.pop(0)
+            for target, _site in self.edges.get(current, ()):
+                if target not in parents:
+                    parents[target] = current
+                    queue.append(target)
+        return parents
+
+    def witness_path(
+        self, parents: dict[str, str | None], key: str
+    ) -> list[str]:
+        """Entry-to-node chain of function names, for rule messages."""
+        chain: list[str] = []
+        cursor: str | None = key
+        while cursor is not None:
+            chain.append(split_node(cursor)[1])
+            cursor = parents.get(cursor)
+        return list(reversed(chain))
+
+    # ------------------------------------------------------------------
+    # Raise sets
+    # ------------------------------------------------------------------
+    def resolve_exception(
+        self, module: str, parts: tuple[str, ...]
+    ) -> str | None:
+        """Exception reference → ``mod:Cls`` (project) or bare name."""
+        resolved = self.index.resolve_class(module, parts)
+        if resolved is not None:
+            return node_key(*resolved)
+        info = self.index.modules.get(module)
+        if info is not None and parts[0] in info.bindings:
+            kind, qual = self.index.resolve(
+                ".".join([info.bindings[parts[0]].target] + list(parts[1:]))
+            )
+            if kind == "symbol":
+                owner, sym = split_node(qual)
+                if "." not in sym and sym in self.index.modules[owner].classes:
+                    return node_key(owner, sym)
+        if parts[0] in ("self", "cls"):
+            return None
+        # ``raise exc`` re-raising a local variable carries no static type;
+        # only class-cased names (ValueError, zipfile.BadZipFile) are kept.
+        name = parts[-1]
+        return name if name[:1].isupper() else None
+
+    def transitive_raises(self) -> dict[str, frozenset[str]]:
+        """Fixpoint of raise sets over call edges (handles cycles)."""
+        result: dict[str, set[str]] = {}
+        for key, (module, fn) in self.nodes.items():
+            own: set[str] = set()
+            for site in fn.raises:
+                resolved = self.resolve_exception(module, site.parts)
+                if resolved is not None:
+                    own.add(resolved)
+            result[key] = own
+        changed = True
+        while changed:
+            changed = False
+            for key, edges in self.edges.items():
+                mine = result[key]
+                before = len(mine)
+                for target, _site in edges:
+                    mine.update(result.get(target, ()))
+                if len(mine) != before:
+                    changed = True
+        return {key: frozenset(value) for key, value in result.items()}

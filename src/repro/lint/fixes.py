@@ -1,0 +1,123 @@
+"""Mechanical autofixes: ``repro lint --fix`` / ``--diff``.
+
+Only ``__all__`` membership is fixed automatically — it is the one
+repair with a single obviously-correct answer.  The fixer recomputes
+the export list the RPR005/RPR013 way (drop names the module no longer
+defines, append public defs and, in package ``__init__`` files,
+re-exported symbols, in definition order) and rewrites the literal in
+place, preserving the module's quote style and trailing comma.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass
+from pathlib import Path
+
+from .rules_api import _collect_toplevel, _literal_names
+
+__all__ = ["FixResult", "fix_all_entries", "fix_file", "render_diff"]
+
+
+@dataclass
+class FixResult:
+    path: str
+    original: str
+    fixed: str
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+
+def _desired_exports(
+    tree: ast.Module, exported: list[str], is_package: bool
+) -> tuple[list[str], list[str], list[str]]:
+    """(desired, added, removed) export lists for one module."""
+    defined: set[str] = set()
+    public_defs: list[ast.stmt] = []
+    _collect_toplevel(tree.body, defined, public_defs)
+
+    required: list[str] = [
+        node.name  # type: ignore[attr-defined]
+        for node in public_defs
+    ]
+    if is_package:
+        # Symbols imported by a package __init__ exist to be re-exported.
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if name != "*" and not name.startswith("_"):
+                        required.append(name)
+
+    removed = [name for name in exported if name not in defined]
+    kept = [name for name in exported if name in defined]
+    added = [name for name in required if name not in kept]
+    return kept + added, added, removed
+
+
+def _format_all(names: list[str], indent: str, multiline: bool) -> str:
+    if not multiline:
+        inner = ", ".join(f'"{name}"' for name in names)
+        return f"__all__ = [{inner}]"
+    body = "".join(f'{indent}    "{name}",\n' for name in names)
+    return f"__all__ = [\n{body}{indent}]"
+
+
+def fix_all_entries(source: str, path: str = "<string>") -> FixResult | None:
+    """Rewritten source with a corrected ``__all__``, or None if n/a."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    all_node: ast.Assign | None = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            all_node = node
+            break
+    if all_node is None:
+        return None
+    exported = _literal_names(all_node.value)
+    if exported is None:
+        return None
+
+    is_package = Path(path).name == "__init__.py"
+    desired, added, removed = _desired_exports(tree, exported, is_package)
+    if desired == exported:
+        return FixResult(path, source, source, (), ())
+
+    lines = source.splitlines(keepends=True)
+    start = all_node.lineno - 1
+    end = all_node.end_lineno or all_node.lineno
+    indent = lines[start][: len(lines[start]) - len(lines[start].lstrip())]
+    multiline = end > all_node.lineno or len(desired) > 4
+    replacement = indent + _format_all(desired, indent, multiline) + "\n"
+    fixed = "".join(lines[:start]) + replacement + "".join(lines[end:])
+    return FixResult(path, source, fixed, tuple(added), tuple(removed))
+
+
+def fix_file(path: Path | str, apply: bool = False) -> FixResult | None:
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    result = fix_all_entries(source, str(path))
+    if result is not None and result.changed and apply:
+        path.write_text(result.fixed, encoding="utf-8")
+    return result
+
+
+def render_diff(result: FixResult) -> str:
+    return "".join(
+        difflib.unified_diff(
+            result.original.splitlines(keepends=True),
+            result.fixed.splitlines(keepends=True),
+            fromfile=f"a/{result.path}",
+            tofile=f"b/{result.path}",
+        )
+    )

@@ -70,6 +70,20 @@ class AllConsistencyRule(Rule):
         "__all__ must list every public top-level def/class and only "
         "names the module actually defines"
     )
+    rationale = (
+        "__all__ is the module's published contract: star imports, "
+        "documentation builds, and the package re-export checks "
+        "(RPR013) all read it.  A phantom entry breaks consumers at "
+        "import time; an unlisted public def quietly forks the API "
+        "into 'documented' and 'accidental' halves.  `repro lint --fix` "
+        "repairs both directions mechanically."
+    )
+    example = (
+        "__all__ = [\"gone\"]        # RPR005: 'gone' is not defined\n"
+        "\n"
+        "def present():             # RPR005: public but unlisted\n"
+        "    ...\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         all_node: ast.Assign | None = None

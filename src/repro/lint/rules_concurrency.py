@@ -1,0 +1,180 @@
+"""RPR011 — concurrency safety for shared mutable state.
+
+The ROADMAP moves toward multiprocess campaigns and a long-lived query
+server, so any class that already dispatches work to threads (or that
+owns a lock, declaring itself shared) must treat its instance state as a
+concurrency surface.  The rule has four triggers:
+
+- a class that **owns a lock** must hold one of its locks around every
+  instance-state mutation outside ``__init__``;
+- a class whose methods **spawn or submit to executors** gets the same
+  obligation — today's single-thread accounting is tomorrow's race once
+  the instance is shared;
+- a module that owns a **module-level lock** must hold it around global
+  mutations;
+- any function **reachable from submitted thread workers** may not
+  mutate shared state unlocked, whoever owns it.
+
+``threading.local`` attributes are exempt, as are the lock attributes
+themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .findings import Finding
+from .index import FunctionInfo, Mutation
+from .rules import ProjectRule, register_rule
+
+if TYPE_CHECKING:
+    from .callgraph import CallGraph, ProjectIndex
+
+__all__ = ["ConcurrencySafetyRule"]
+
+
+def _held(
+    mutation: Mutation,
+    lock_attrs: tuple[str, ...],
+    module_locks: tuple[str, ...],
+) -> bool:
+    for context in mutation.withs:
+        if len(context) == 2 and context[0] == "self" and context[1] in lock_attrs:
+            return True
+        if len(context) == 1 and context[0] in module_locks:
+            return True
+    return False
+
+
+@register_rule
+class ConcurrencySafetyRule(ProjectRule):
+    rule_id = "RPR011"
+    name = "concurrency-safety"
+    description = (
+        "shared state mutated without holding the owning lock in "
+        "lock-owning classes, executor-spawning classes, or thread workers"
+    )
+    rationale = (
+        "A class that spawns worker threads or owns a lock has declared "
+        "its instances shared; every unlocked mutation of its state is a "
+        "latent race that only shows up under the concurrent serving "
+        "loads the ROADMAP is heading for.  The call graph lets the rule "
+        "follow submitted worker functions into their callees, where "
+        "per-file analysis goes blind."
+    )
+    example = (
+        "class Engine:\n"
+        "    def run(self, jobs):\n"
+        "        with ThreadPoolExecutor() as pool:\n"
+        "            for job in jobs:\n"
+        "                pool.submit(self._work, job)\n"
+        "    def _work(self, job):\n"
+        "        self.done += 1   # RPR011: unlocked shared mutation\n"
+    )
+
+    def check_project(
+        self, index: "ProjectIndex", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        seen: set[tuple[str, int, int]] = set()
+
+        def emit(path: str, mutation: Mutation, message: str):
+            site = (path, mutation.lineno, mutation.col)
+            if site in seen:
+                return None
+            seen.add(site)
+            return self.project_finding(
+                path, mutation.lineno, mutation.col, message
+            )
+
+        def class_exempt(cls, mutation: Mutation) -> bool:
+            attr = mutation.path[0]
+            return attr in cls.threadlocal_attrs or attr in cls.lock_attrs
+
+        # Triggers 1 + 2: lock-owning and executor-spawning classes.
+        for module in sorted(index.modules):
+            info = index.modules[module]
+            module_locks = info.module_locks
+            for cls_name in sorted(info.classes):
+                cls = info.classes[cls_name]
+                members = [
+                    fn for fn in info.functions.values() if fn.cls == cls_name
+                ]
+                owns_lock = bool(cls.lock_attrs)
+                spawns = any(fn.spawns_pool or fn.submitted for fn in members)
+                if not (owns_lock or spawns):
+                    continue
+                reason = (
+                    f"class '{cls_name}' owns a lock"
+                    if owns_lock
+                    else f"class '{cls_name}' dispatches work to threads"
+                )
+                for fn in members:
+                    for mutation in fn.mutations:
+                        if mutation.scope != "self":
+                            continue
+                        if class_exempt(cls, mutation):
+                            continue
+                        if _held(mutation, cls.lock_attrs, module_locks):
+                            continue
+                        state = "self." + ".".join(mutation.path)
+                        finding = emit(
+                            info.path,
+                            mutation,
+                            f"{reason} but '{fn.qual}' mutates {state} "
+                            "without holding it",
+                        )
+                        if finding:
+                            yield finding
+
+            # Trigger 3: module-level globals guarded by a module lock.
+            if module_locks:
+                for fn in info.functions.values():
+                    for mutation in fn.mutations:
+                        if mutation.scope != "global":
+                            continue
+                        if mutation.path[0] in module_locks:
+                            continue
+                        if _held(mutation, (), module_locks):
+                            continue
+                        finding = emit(
+                            info.path,
+                            mutation,
+                            f"module owns lock '{module_locks[0]}' but "
+                            f"'{fn.qual}' mutates global "
+                            f"'{mutation.path[0]}' without holding it",
+                        )
+                        if finding:
+                            yield finding
+
+        # Trigger 4: functions reachable from submitted thread workers.
+        worker_entries: set[str] = set()
+        for key, (module, fn) in graph.nodes.items():
+            for parts in fn.submitted:
+                worker_entries.update(graph.resolve_call(module, fn, parts))
+        parents = graph.reachable(sorted(worker_entries))
+        for key in sorted(parents):
+            module, fn = graph.nodes[key]
+            info = index.modules[module]
+            for mutation in fn.mutations:
+                cls = info.classes.get(fn.cls) if fn.cls else None
+                if mutation.scope == "self":
+                    if cls is None or class_exempt(cls, mutation):
+                        continue
+                    if _held(mutation, cls.lock_attrs, info.module_locks):
+                        continue
+                    state = "self." + ".".join(mutation.path)
+                else:
+                    if mutation.path[0] in info.module_locks:
+                        continue
+                    if _held(mutation, (), info.module_locks):
+                        continue
+                    state = "global '" + mutation.path[0] + "'"
+                witness = " -> ".join(graph.witness_path(parents, key))
+                finding = emit(
+                    info.path,
+                    mutation,
+                    f"'{fn.qual}' runs on worker threads (via {witness}) "
+                    f"and mutates {state} without a lock",
+                )
+                if finding:
+                    yield finding

@@ -1,0 +1,82 @@
+"""RPR010 — inter-procedural determinism taint.
+
+The paper's claims rest on bit-reproducible pipelines: identical seeds
+must give identical sampling weights, negatives, and ranks.  A single
+unseeded generator or a set iterated into an array anywhere *below*
+``train_model``/``discover_facts``/the ranking engine breaks that, even
+when the entry point itself is clean.  This rule walks the call graph
+from those entry points and flags every reachable hazard, naming the
+path that reaches it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .callgraph import split_node
+from .findings import Finding
+from .rules import ProjectRule, register_rule
+
+if TYPE_CHECKING:
+    from .callgraph import CallGraph, ProjectIndex
+
+__all__ = ["DeterminismTaintRule"]
+
+#: Top-level functions that start a reproducibility-sensitive pipeline.
+ENTRY_FUNCTIONS = frozenset({"train_model", "discover_facts", "fit"})
+#: Classes whose every method is treated as a pipeline entry point.
+ENTRY_CLASSES = frozenset({"RankingEngine"})
+
+
+@register_rule
+class DeterminismTaintRule(ProjectRule):
+    rule_id = "RPR010"
+    name = "determinism-taint"
+    description = (
+        "unseeded RNG or unordered-set iteration reachable from "
+        "train_model/discover_facts/RankingEngine"
+    )
+    rationale = (
+        "Bit-reproducibility is a whole-pipeline property: an unseeded "
+        "default_rng() or a set materialised into an array three calls "
+        "below discover_facts() silently changes weights and ranks "
+        "between runs.  Per-file rules cannot see the call chain; this "
+        "rule taints everything reachable from the pipeline entry points."
+    )
+    example = (
+        "def discover_facts(kg):\n"
+        "    return _sample(kg)\n"
+        "\n"
+        "def _sample(kg):\n"
+        "    rng = np.random.default_rng()   # RPR010: unseeded, reachable\n"
+        "    return list({t for t in kg})    # RPR010: unordered iteration\n"
+    )
+
+    def check_project(
+        self, index: "ProjectIndex", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        entries = []
+        for key, (_module, fn) in graph.nodes.items():
+            if fn.cls in ENTRY_CLASSES:
+                entries.append(key)
+            elif (
+                fn.cls is None
+                and fn.name in ENTRY_FUNCTIONS
+                and "<locals>" not in fn.qual
+            ):
+                entries.append(key)
+        parents = graph.reachable(sorted(entries))
+        for key in sorted(parents):
+            module, qual = split_node(key)
+            fn = graph.nodes[key][1]
+            if not fn.hazards:
+                continue
+            path = index.modules[module].path
+            witness = " -> ".join(graph.witness_path(parents, key))
+            for hazard in fn.hazards:
+                yield self.project_finding(
+                    path,
+                    hazard.lineno,
+                    hazard.col,
+                    f"{hazard.detail} in '{qual}' (reachable via {witness})",
+                )

@@ -1,0 +1,116 @@
+"""RPR013 — cross-module ``__all__`` and re-export integrity.
+
+RPR005 keeps one module's ``__all__`` honest against its own
+definitions; this rule follows bindings *between* modules: imports of
+project names that do not resolve, package ``__init__`` files that
+import a symbol for re-export but forget to list it in ``__all__``,
+re-exports that bypass the source module's ``__all__``, and top-level
+rebinds that shadow an earlier import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .callgraph import split_node
+from .findings import Finding
+from .rules import ProjectRule, register_rule
+
+if TYPE_CHECKING:
+    from .callgraph import CallGraph, ProjectIndex
+
+__all__ = ["ExportIntegrityRule"]
+
+
+@register_rule
+class ExportIntegrityRule(ProjectRule):
+    rule_id = "RPR013"
+    name = "export-integrity"
+    description = (
+        "unresolved project imports, package re-exports missing from "
+        "__all__ or bypassing the source module's __all__, shadowed "
+        "top-level bindings"
+    )
+    rationale = (
+        "The public surface is assembled by re-export chains "
+        "(repro.__init__ -> subpackage __init__ -> module); a rename "
+        "that breaks one link, or a name imported into a package but "
+        "never exported, only surfaces when a user hits the dead "
+        "import.  Resolving every binding against the project symbol "
+        "table catches the break at lint time."
+    )
+    example = (
+        "# repro/kge/__init__.py\n"
+        "from .ranking import RankingEngine, ScoreRowCache\n"
+        "from .training import train_modle   # RPR013: unresolved name\n"
+        "__all__ = ['RankingEngine']         # RPR013: ScoreRowCache\n"
+        "                                    # imported but not exported\n"
+    )
+
+    def check_project(
+        self, index: "ProjectIndex", graph: "CallGraph"
+    ) -> Iterator[Finding]:
+        for module in sorted(index.modules):
+            info = index.modules[module]
+
+            # Unresolved project-internal imports.
+            for name in sorted(info.bindings):
+                binding = info.bindings[name]
+                kind, target = index.resolve(binding.target)
+                if kind == "missing":
+                    yield self.project_finding(
+                        info.path,
+                        binding.lineno,
+                        binding.col,
+                        f"import of '{binding.target}' does not resolve to "
+                        "any project module or symbol",
+                    )
+
+            # Re-export integrity for package __init__ files.
+            if info.is_package and info.all_names is not None:
+                exported = set(info.all_names)
+                for name in sorted(info.bindings):
+                    binding = info.bindings[name]
+                    if binding.kind != "symbol" or name.startswith("_"):
+                        continue
+                    kind, qual = index.resolve(binding.target)
+                    if kind != "symbol":
+                        continue
+                    owner, symbol = split_node(qual)
+                    if name not in exported:
+                        yield self.project_finding(
+                            info.path,
+                            binding.lineno,
+                            binding.col,
+                            f"'{name}' is imported into the package "
+                            "namespace but missing from __all__",
+                        )
+                    owner_info = index.modules[owner]
+                    if (
+                        owner_info.all_names is not None
+                        and "." not in symbol
+                        and symbol not in owner_info.all_names
+                    ):
+                        yield self.project_finding(
+                            info.path,
+                            binding.lineno,
+                            binding.col,
+                            f"re-export of '{symbol}' bypasses "
+                            f"'{owner}.__all__'",
+                        )
+
+            # Shadowed top-level bindings (straight-line code only).
+            first_seen: dict[str, int] = {}
+            for name, _origin, lineno, col in info.toplevel_order:
+                if name.startswith("__"):
+                    continue
+                if name in first_seen:
+                    yield self.project_finding(
+                        info.path,
+                        lineno,
+                        col,
+                        f"'{name}' shadows the earlier top-level binding "
+                        f"at line {first_seen[name]}",
+                    )
+                else:
+                    first_seen[name] = lineno

@@ -45,6 +45,19 @@ class HygieneRule(Rule):
         "float64-only dtype discipline, no mutable default arguments, "
         "no bare except clauses"
     )
+    rationale = (
+        "Three classic reproducibility leaks: float32 arrays change "
+        "ranking ties between machines, mutable defaults accumulate "
+        "state across calls, and bare except catches KeyboardInterrupt "
+        "and SystemExit along with real faults."
+    )
+    example = (
+        "def f(x=[], dtype=np.float32):   # RPR006 twice\n"
+        "    try:\n"
+        "        ...\n"
+        "    except:                      # RPR006: bare except\n"
+        "        pass\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         np_names = numpy_aliases(ctx.tree)

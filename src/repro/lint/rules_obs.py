@@ -88,6 +88,18 @@ class ObservabilityRule(Rule):
         "kge/discovery/experiments time through repro.obs spans, not raw "
         "time.* clocks; summary()-bearing result classes speak Reportable"
     )
+    rationale = (
+        "The paper's efficiency metric (facts/hour) is assembled from "
+        "the span tree; a phase timed with a raw clock is invisible to "
+        "it, and a result class outside the Reportable protocol cannot "
+        "be joined into the campaign summary tables."
+    )
+    example = (
+        "t0 = time.perf_counter()       # RPR009: invisible phase\n"
+        "\n"
+        "with span(\"rank.score\"):\n"
+        "    ...                        # shows up in facts/hour\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if _in_scope(ctx.module, _CLOCK_SCOPES):

@@ -77,6 +77,20 @@ class ResilienceRule(Rule):
         "no silently-swallowed broad exceptions; durable binary writes in "
         "kge/experiments go through repro.resilience.atomic"
     )
+    rationale = (
+        "In a multi-hour campaign a swallowed exception converts a real "
+        "fault into a missing result with no trace, and a torn "
+        "checkpoint write corrupts the resume path.  Both failure modes "
+        "surface days later, far from their cause."
+    )
+    example = (
+        "try:\n"
+        "    run_cell()\n"
+        "except Exception:\n"
+        "    pass                      # RPR007: fault vanishes\n"
+        "\n"
+        "np.savez(path, emb=emb)       # RPR007: non-atomic in repro.kge\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         in_atomic_scope = any(

@@ -45,6 +45,18 @@ class GlobalRngRule(Rule):
         "global RNG calls (np.random.seed/rand/choice/... or stdlib random.*) "
         "are banned; thread an explicit np.random.Generator instead"
     )
+    rationale = (
+        "Every sampling strategy's weights, negatives, and splits must "
+        "replay bit-identically from a seed.  Global-state RNG calls "
+        "share one hidden stream across the whole process, so any "
+        "reordering — a new import, a thread, a different strategy "
+        "running first — silently changes every draw after it."
+    )
+    example = (
+        "weights = np.random.rand(n)          # RPR001: global stream\n"
+        "rng = np.random.default_rng(seed)\n"
+        "weights = rng.random(n)              # explicit, replayable\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         np_names = set(numpy_aliases(ctx.tree))

@@ -98,6 +98,19 @@ class SparseGradReadRule(Rule):
         "dense .grad reads in kge/autograd must handle SparseGrad, "
         "densify, or flush() first"
     )
+    rationale = (
+        "The row-sparse training fast path leaves ``.grad`` holding a "
+        "SparseGrad accumulator between flushes; code that indexes or "
+        "norms it as a dense array either crashes or, worse, reads "
+        "stale rows.  Every dense read must prove the gradient is "
+        "dense first."
+    )
+    example = (
+        "norm = np.linalg.norm(p.grad)        # RPR008: may be sparse\n"
+        "\n"
+        "p.flush()\n"
+        "norm = np.linalg.norm(p.grad)        # dense by construction\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not _in_scope(ctx.module):

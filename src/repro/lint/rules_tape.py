@@ -86,6 +86,20 @@ class TapeHygieneRule(Rule):
         "model scoring in repro.discovery / repro.kge.{evaluation,query,"
         "diagnostics} must run inside `with no_grad():`"
     )
+    rationale = (
+        "Scoring a full candidate mesh records millions of tape nodes "
+        "nobody will ever backpropagate through; the memory blow-up is "
+        "the difference between a feasible and an infeasible discovery "
+        "run.  Inference modules therefore score under no_grad() only."
+    )
+    example = (
+        "def rank(model, c):\n"
+        "    return model.score_spo(c)       # RPR002: taped scoring\n"
+        "\n"
+        "def rank(model, c):\n"
+        "    with no_grad():\n"
+        "        return model.score_spo(c)   # tape-free\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not _in_scope(ctx.module):

@@ -5,7 +5,9 @@ own parameter updates (``repro.autograd.optim`` / ``modules`` / the
 tensor engine itself).  Writing through ``.data`` bypasses the tape, so a
 mutation anywhere else silently corrupts gradients recorded before it.
 Constructor-time initialisation (inside ``__init__``) is exempt: no tape
-exists before the first forward pass.
+exists before the first forward pass.  Names statically known to hold
+scipy.sparse matrices are also exempt — their ``.data`` is the raw CSR
+value buffer, not a Tensor's tape-tracked storage.
 
 RPR004 checks backward-closure completeness inside ``repro.autograd``:
 an op that attaches two or more parents via ``Tensor._make`` broadcasts,
@@ -22,6 +24,7 @@ import ast
 from typing import Iterator
 
 from .findings import Finding
+from .index import scipy_sparse_aliases, sparse_locals
 from .rules import ModuleContext, Rule, register_rule
 
 __all__ = ["DataMutationRule", "BackwardClosureRule"]
@@ -53,6 +56,19 @@ class DataMutationRule(Rule):
         "in-place writes to Tensor.data outside repro.autograd.{optim,"
         "modules} bypass the gradient tape"
     )
+    rationale = (
+        "``.data`` is the tape's escape hatch: writes through it are "
+        "invisible to autograd, so gradients recorded before the write "
+        "silently become wrong.  Only the optimizer and module layers "
+        "may use it.  Names statically known to hold scipy.sparse "
+        "matrices are exempt — their .data is a raw CSR value buffer."
+    )
+    example = (
+        "emb.data[idx] -= lr * g       # RPR003 outside optim/modules\n"
+        "\n"
+        "adj = sp.csr_matrix(x)\n"
+        "adj.data[:] = 1               # exempt: sparse value buffer\n"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if any(
@@ -60,15 +76,26 @@ class DataMutationRule(Rule):
             for exempt in _MUTATION_EXEMPT
         ):
             return
-        yield from self._walk(ctx, ctx.tree, in_init=False)
+        aliases = scipy_sparse_aliases(ctx.tree)
+        yield from self._walk(
+            ctx, ctx.tree, in_init=False, aliases=aliases, sparse=frozenset()
+        )
 
     def _walk(
-        self, ctx: ModuleContext, node: ast.AST, in_init: bool
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        in_init: bool,
+        aliases: frozenset[str],
+        sparse: frozenset[str],
     ) -> Iterator[Finding]:
         for child in ast.iter_child_nodes(node):
             child_in_init = in_init or (
                 isinstance(child, ast.FunctionDef) and child.name == "__init__"
             )
+            child_sparse = sparse
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_sparse = sparse | sparse_locals(child, aliases)
             targets: list[ast.expr] = []
             if isinstance(child, ast.Assign):
                 targets = list(child.targets)
@@ -76,15 +103,19 @@ class DataMutationRule(Rule):
                 targets = [child.target]
             for target in targets:
                 attribute = _mutated_data_attribute(target)
-                if attribute is not None and not child_in_init:
-                    yield self.finding(
-                        ctx,
-                        attribute,
-                        "in-place mutation of .data outside "
-                        "repro.autograd.{optim,modules} bypasses the tape; "
-                        "route updates through an optimizer or Module method",
-                    )
-            yield from self._walk(ctx, child, child_in_init)
+                if attribute is None or child_in_init:
+                    continue
+                base = attribute.value
+                if isinstance(base, ast.Name) and base.id in sparse:
+                    continue  # scipy sparse value buffer, not a Tensor
+                yield self.finding(
+                    ctx,
+                    attribute,
+                    "in-place mutation of .data outside "
+                    "repro.autograd.{optim,modules} bypasses the tape; "
+                    "route updates through an optimizer or Module method",
+                )
+            yield from self._walk(ctx, child, child_in_init, aliases, child_sparse)
 
 
 def _contains_unbroadcast(node: ast.AST) -> bool:
@@ -108,6 +139,18 @@ class BackwardClosureRule(Rule):
     description = (
         "multi-parent backward closures must _unbroadcast gradients or "
         "guard each parent with requires_grad; never write .grad directly"
+    )
+    rationale = (
+        "An op with two or more parents broadcasts, so each parent's "
+        "gradient must be reduced back to the parent's shape.  A "
+        "backward closure that feeds _accumulate a raw gradient "
+        "produces misshapen updates only when broadcasting actually "
+        "happens — the worst kind of latent bug."
+    )
+    example = (
+        "def backward(grad):\n"
+        "    a._accumulate(grad * b.data)              # RPR004\n"
+        "    a._accumulate(_unbroadcast(grad * b.data, a.shape))  # ok\n"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

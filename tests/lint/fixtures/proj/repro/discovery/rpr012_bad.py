@@ -1,0 +1,30 @@
+"""RPR012 bad fixture: summary() keys off the canonical vocabulary."""
+
+
+class SamplingReport:
+    def summary(self):
+        return {
+            "rank_seconds": self.rank,
+            "facts_count": self.facts,
+        }
+
+    def to_dict(self):
+        return self.summary()
+
+    def to_json(self):
+        return "{}"
+
+
+class LegacyReport:
+    def summary(self):
+        return {
+            "train_sec": self.train,
+            "num_facts": self.facts,
+            "rank": self.rank,
+        }
+
+    def to_dict(self):
+        return self.summary()
+
+    def to_json(self):
+        return "{}"

@@ -1,0 +1,16 @@
+"""RPR012 clean fixture: canonical *_seconds/*_count summary keys."""
+
+
+class SamplingReport:
+    def summary(self):
+        return {
+            "rank_seconds": self.rank,
+            "train_seconds": self.train,
+            "facts_count": self.facts,
+        }
+
+    def to_dict(self):
+        return self.summary()
+
+    def to_json(self):
+        return "{}"

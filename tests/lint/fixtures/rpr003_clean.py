@@ -1,5 +1,7 @@
 """RPR003 clean fixture: tape-safe reads plus the ``__init__`` exemption."""
 
+import scipy.sparse as sp
+
 
 class Scaler:
     def __init__(self, weight):
@@ -9,3 +11,10 @@ class Scaler:
 
     def scaled(self, factor):
         return self.weight * factor
+
+
+def binarise(rows, cols, data, n):
+    # ``adj.data`` is the raw CSR value buffer, not a Tensor's storage.
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    adj.data[:] = 1
+    return adj

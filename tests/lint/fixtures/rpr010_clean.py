@@ -1,0 +1,9 @@
+"""RPR010 clean fixture: seeded RNG and ordered iteration throughout."""
+
+import numpy as np
+
+
+def train_model(config, seed):
+    rng = np.random.default_rng(seed)
+    pending = {3, 1, 2}
+    return [rng.random() for _ in sorted(pending)]

@@ -1,0 +1,12 @@
+"""RPR011 bad fixture: a lock-owning class mutating state unlocked."""
+
+from threading import Lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = Lock()
+        self.total = 0
+
+    def add(self, value):
+        self.total += value

@@ -1,0 +1,13 @@
+"""RPR011 clean fixture: every mutation holds the owning lock."""
+
+from threading import Lock
+
+
+class Counter:
+    def __init__(self):
+        self._lock = Lock()
+        self.total = 0
+
+    def add(self, value):
+        with self._lock:
+            self.total += value

@@ -1,0 +1,15 @@
+"""RPR013 bad fixture: top-level bindings shadowing earlier ones."""
+
+from os import path
+
+
+def path(value):
+    return value
+
+
+def helper():
+    return 1
+
+
+def helper():
+    return 2

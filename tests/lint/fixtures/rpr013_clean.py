@@ -1,0 +1,11 @@
+"""RPR013 clean fixture: every top-level name bound exactly once."""
+
+from os import path
+
+
+def resolve(value):
+    return path.basename(value)
+
+
+def helper():
+    return 1

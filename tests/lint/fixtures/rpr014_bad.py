@@ -1,0 +1,16 @@
+"""RPR014 bad fixture: broad except swallowing a typed project error."""
+
+
+class BudgetError(Exception):
+    pass
+
+
+def _load(path):
+    raise BudgetError(path)
+
+
+def run(path):
+    try:
+        return _load(path)
+    except Exception:
+        return None

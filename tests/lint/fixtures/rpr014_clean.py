@@ -1,0 +1,16 @@
+"""RPR014 clean fixture: the typed error is caught before any fallback."""
+
+
+class BudgetError(Exception):
+    pass
+
+
+def _load(path):
+    raise BudgetError(path)
+
+
+def run(path):
+    try:
+        return _load(path)
+    except BudgetError:
+        return None

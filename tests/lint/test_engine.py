@@ -27,6 +27,11 @@ BAD_FIXTURES = [
     "proj/repro/autograd/rpr004_bad.py",
     "rpr005_bad.py",
     "rpr006_bad.py",
+    "rpr010_bad.py",
+    "rpr011_bad.py",
+    "proj/repro/discovery/rpr012_bad.py",
+    "rpr013_bad.py",
+    "rpr014_bad.py",
 ]
 
 

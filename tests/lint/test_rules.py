@@ -1,11 +1,15 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR009 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR014 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
-The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009) live under a fake package tree in
-``fixtures/proj`` so module-name derivation resolves them into the
-``repro.*`` namespaces the rules watch.
+The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009/RPR012) live under
+a fake package tree in ``fixtures/proj`` so module-name derivation
+resolves them into the ``repro.*`` namespaces the rules watch.  The
+whole-program rules (RPR010–RPR014) are exercised here on single
+self-contained modules — ``lint_file`` runs pass 2 over a singleton
+index — and again over a real multi-module package in
+``test_project_rules.py``.
 """
 
 from __future__ import annotations
@@ -56,6 +60,16 @@ CASES = [
         "proj/repro/discovery/rpr009_clean.py",
         6,
     ),
+    ("RPR010", "rpr010_bad.py", "rpr010_clean.py", 2),
+    ("RPR011", "rpr011_bad.py", "rpr011_clean.py", 1),
+    (
+        "RPR012",
+        "proj/repro/discovery/rpr012_bad.py",
+        "proj/repro/discovery/rpr012_clean.py",
+        3,
+    ),
+    ("RPR013", "rpr013_bad.py", "rpr013_clean.py", 2),
+    ("RPR014", "rpr014_bad.py", "rpr014_clean.py", 1),
 ]
 
 
@@ -119,6 +133,28 @@ def test_rpr003_exempts_the_parameter_update_modules():
     source = "def step(param, grad):\n    param.data[:] = param.data - grad\n"
     assert ENGINE.lint_source(source, module="repro.autograd.optim") == []
     findings = ENGINE.lint_source(source, module="repro.kge.training")
+    assert [finding.rule_id for finding in findings] == ["RPR003"]
+
+
+def test_rpr003_exempts_scipy_sparse_value_buffers():
+    sparse = (
+        "import scipy.sparse as sp\n"
+        "def collapse(x):\n"
+        "    adj = sp.csr_matrix(x)\n"
+        "    adj.data[:] = 1\n"
+        "    return adj\n"
+    )
+    assert ENGINE.lint_source(sparse, module="repro.kg.stats") == []
+    # A name ever rebound to something else loses the exemption.
+    ambiguous = (
+        "import scipy.sparse as sp\n"
+        "def collapse(x, tensor):\n"
+        "    adj = sp.csr_matrix(x)\n"
+        "    adj = tensor\n"
+        "    adj.data[:] = 1\n"
+        "    return adj\n"
+    )
+    findings = ENGINE.lint_source(ambiguous, module="repro.kg.stats")
     assert [finding.rule_id for finding in findings] == ["RPR003"]
 
 

@@ -1,15 +1,20 @@
 """Tier-1 gate: the repository's own sources must lint clean.
 
 This is the test that makes the analyzer's invariants binding — RNG
-determinism, tape hygiene, and API consistency hold on every change or
-the suite fails with the exact ``path:line:col`` of the violation.
+determinism, tape hygiene, API consistency, and the whole-program
+determinism/concurrency/exception contracts hold on every change or the
+suite fails with the exact ``path:line:col`` of the violation.  The
+same run is also rendered as SARIF so CI consumers always get a
+schema-shaped report, clean or not.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
-from repro.lint import LintEngine, load_config
+from repro.lint import LintEngine, load_config, render_sarif
+from repro.lint.rules import all_rules
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -22,7 +27,25 @@ def test_project_config_declares_scan_roots():
 def test_source_tree_is_lint_clean():
     config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
     engine = LintEngine(config)
-    findings = engine.lint_paths(list(config.paths))
-    assert findings == [], "unsuppressed lint findings:\n" + "\n".join(
-        finding.render() for finding in findings
+    run = engine.run(list(config.paths))
+    assert run.findings == [], "unsuppressed lint findings:\n" + "\n".join(
+        finding.render() for finding in run.findings
     )
+
+    # Both passes actually ran over the whole tree.
+    assert run.checked_files > 50
+
+    # The SARIF report of the gate run stays structurally valid: one
+    # run, the full live rule table, zero results.
+    sarif = json.loads(
+        render_sarif(run.findings, checked_files=run.checked_files)
+    )
+    assert sarif["version"] == "2.1.0"
+    (sarif_run,) = sarif["runs"]
+    assert sarif_run["results"] == []
+    assert sarif_run["properties"]["checkedFiles"] == run.checked_files
+    driver = sarif_run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert [rule["id"] for rule in driver["rules"]] == [
+        rule.rule_id for rule in all_rules()
+    ]

@@ -131,16 +131,24 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
             bias._accumulate(grad_mat.sum(axis=(0, 1)))
         if x.requires_grad:
             grad_cols = grad_mat @ w_mat  # (B, out_h*out_w, C_in*kh*kw)
-            grad_x = np.zeros_like(x.data)
             grad_cols = grad_cols.reshape(
                 batch, out_h, out_w, in_channels, kernel_h, kernel_w
             )
+            # col2im runs channels-last so every per-tap add walks the
+            # matmul output in memory order (the channel axis is the
+            # contiguous one on both sides); a single transpose copy at
+            # the end restores NCHW.  Per-element additions happen in
+            # the same tap order as the naive NCHW loop, so the result
+            # is bitwise identical.
+            grad_t = np.zeros(
+                (batch, x.shape[2], x.shape[3], in_channels), dtype=x.data.dtype
+            )
             for i in range(kernel_h):
                 for j in range(kernel_w):
-                    grad_x[:, :, i : i + out_h, j : j + out_w] += grad_cols[
+                    grad_t[:, i : i + out_h, j : j + out_w, :] += grad_cols[
                         :, :, :, :, i, j
-                    ].transpose(0, 3, 1, 2)
-            x._accumulate(grad_x)
+                    ]
+            x._accumulate(np.ascontiguousarray(grad_t.transpose(0, 3, 1, 2)))
 
     return Tensor._make(out_data, parents, backward)
 

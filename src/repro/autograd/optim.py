@@ -25,7 +25,13 @@ replaces:
   with the bias corrections of each replayed step) rather than applying
   a closed-form geometric sum — re-associating the arithmetic would
   break bit-identity.  Rows with all-zero momentum state are skipped,
-  which is an exact no-op.
+  which is an exact no-op.  When every stale row is exactly one step
+  behind — the per-batch-flush regime of models whose
+  ``post_batch_hook`` mutates parameters directly (TransE) — the replay
+  collapses to a fused in-place kernel: predicated (``where=``) ufuncs
+  over the full tables on persistent scratch buffers, with no gathers,
+  scatters or temporaries, applying the dense path's own per-element
+  operations to the stale rows only.
 
 Because laziness defers updates, callers must :meth:`Optimizer.flush`
 before reading parameters for evaluation, snapshots, or checkpoints; the
@@ -105,6 +111,9 @@ class SGD(Optimizer):
         # count per parameter, and per-row caught-up-through markers.
         self._pt = [0] * len(self.params)
         self._last: list[np.ndarray | None] = [None] * len(self.params)
+        # Scratch for the fused one-step replay.  Held in a dict so the
+        # guard snapshotter ignores it — it carries no state.
+        self._scratch: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
         self._observe_step()
@@ -131,7 +140,7 @@ class SGD(Optimizer):
                     # the forward pass reads them (see Tensor._catch_up).
                     param._catch_up = partial(self._catch_up_rows, i)
                 rows = grad.rows
-                self._replay(param.data, velocity, last, rows, self._pt[i])
+                self._replay(i, param.data, velocity, last, rows, self._pt[i])
                 self._pt[i] += 1
                 v_rows = velocity[rows]
                 v_rows *= mu
@@ -144,7 +153,7 @@ class SGD(Optimizer):
                 if last is not None:
                     # A dense gradient on a lazily-tracked parameter:
                     # settle every stale row before the dense update.
-                    self._replay(param.data, velocity, last, None, self._pt[i])
+                    self._replay(i, param.data, velocity, last, None, self._pt[i])
                 self._pt[i] += 1
                 velocity *= mu
                 velocity += grad
@@ -160,7 +169,7 @@ class SGD(Optimizer):
                 last = self._last[i]
                 if last is None:
                     continue
-                self._replay(param.data, velocity, last, None, self._pt[i])
+                self._replay(i, param.data, velocity, last, None, self._pt[i])
                 last[:] = self._pt[i]
 
     def _catch_up_rows(self, i: int, rows: np.ndarray) -> None:
@@ -169,11 +178,12 @@ class SGD(Optimizer):
         if last is None:
             return
         rows = np.unique(rows)
-        self._replay(self.params[i].data, self._velocity[i], last, rows, self._pt[i])
+        self._replay(i, self.params[i].data, self._velocity[i], last, rows, self._pt[i])
         last[rows] = self._pt[i]
 
     def _replay(
         self,
+        i: int,
         data: np.ndarray,
         velocity: np.ndarray,
         last: np.ndarray,
@@ -188,9 +198,27 @@ class SGD(Optimizer):
         arithmetic) keeps the lazy path bitwise equal to the dense one.
         Rows whose velocity is entirely zero are skipped — their replay
         is an exact no-op.
+
+        When the whole stale set is exactly one step behind (a model's
+        ``post_batch_hook`` forcing a flush per batch), the replay runs
+        fused in place: predicated ufuncs apply the same two rounded
+        operations to the stale rows of the full tables, with no gather,
+        scatter, sort or temporaries.
         """
         if rows is None:
-            rows = np.flatnonzero(last < target)
+            stale = last < target
+            if not stale.any():
+                return
+            if int(last.min()) >= target - 1:
+                mask = _broadcast_rowwise(stale, data.ndim)
+                buf = self._scratch.get(i)
+                if buf is None or buf.shape != data.shape:
+                    buf = self._scratch[i] = np.empty_like(data)
+                np.multiply(velocity, self.momentum, out=velocity, where=mask)
+                np.multiply(velocity, self.lr, out=buf, where=mask)
+                np.subtract(data, buf, out=data, where=mask)
+                return
+            rows = np.flatnonzero(stale)
         gaps = target - last[rows]
         hot = gaps > 0
         if not np.any(hot):
@@ -432,10 +460,21 @@ class Adam(Optimizer):
         in the same rounding order, so the result is bitwise equal to
         the dense path.  Without weight decay, rows whose moments are
         entirely zero are skipped: their replayed update is exactly zero.
+
+        When the whole stale set is exactly one step behind (a model's
+        ``post_batch_hook`` forcing a flush per batch), the replay runs
+        fused in place on the persistent scratch pair instead — see
+        :meth:`_replay_one_step`.
         """
         last = self._last[i]
         if rows is None:
-            rows = np.flatnonzero(last < target)
+            stale = last < target
+            if not stale.any():
+                return
+            if int(last.min()) >= target - 1:
+                self._replay_one_step(i, param, m, v, stale, target)
+                return
+            rows = np.flatnonzero(stale)
         gaps = target - last[rows]
         hot = gaps > 0
         if not np.any(hot):
@@ -486,3 +525,53 @@ class Adam(Optimizer):
         m[rows] = m_work
         v[rows] = v_work
         param.data[rows] = x_work
+
+    def _replay_one_step(
+        self,
+        i: int,
+        param: Tensor,
+        m: np.ndarray,
+        v: np.ndarray,
+        stale: np.ndarray,
+        target: int,
+    ) -> None:
+        """Fused replay of a single missed step for every stale row.
+
+        The per-batch-flush regime (TransE's row renormalisation) leaves
+        every untouched row exactly one step behind at each flush, so the
+        general gather/sort/scatter kernel degenerates to copying nearly
+        the whole table three times per batch.  Here the same per-step
+        operations run as predicated (``where=``) ufuncs directly on the
+        full ``m``/``v``/parameter tables, using the dense step's
+        persistent scratch pair — no gathers, no temporaries.  The
+        element-wise operations and their rounding order are identical
+        to one iteration of :meth:`_replay`'s loop, and rows whose
+        moments are zero come out bitwise unchanged exactly as the dense
+        path leaves them, so bit-identity is preserved without the
+        live-row filter.
+        """
+        mask = _broadcast_rowwise(stale, param.data.ndim)
+        step = target - self._base[i] - 1
+        f1 = self._bias1[i][step]
+        f2 = self._bias2[i][step]
+        buf, tmp = self._buffers(i, param)
+        wd = self.weight_decay
+        if wd > 0.0:
+            np.multiply(param.data, wd, out=buf, where=mask)
+            np.multiply(m, self.beta1, out=m, where=mask)
+            np.multiply(buf, 1.0 - self.beta1, out=tmp, where=mask)
+            np.add(m, tmp, out=m, where=mask)
+            np.multiply(v, self.beta2, out=v, where=mask)
+            np.multiply(buf, buf, out=tmp, where=mask)
+            np.multiply(tmp, 1.0 - self.beta2, out=tmp, where=mask)
+            np.add(v, tmp, out=v, where=mask)
+        else:
+            np.multiply(m, self.beta1, out=m, where=mask)
+            np.multiply(v, self.beta2, out=v, where=mask)
+        np.divide(m, f1, out=buf, where=mask)
+        np.multiply(buf, self.lr, out=buf, where=mask)
+        np.divide(v, f2, out=tmp, where=mask)
+        np.sqrt(tmp, out=tmp, where=mask)
+        np.add(tmp, self.eps, out=tmp, where=mask)
+        np.divide(buf, tmp, out=buf, where=mask)
+        np.subtract(param.data, buf, out=param.data, where=mask)

@@ -149,6 +149,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         max_cell_attempts=args.max_cell_attempts,
         on_error="degrade" if args.journal else "raise",
+        procs=args.procs,
     )
     failed = [r for r in rows if r.status != "ok"]
     if failed:
@@ -364,6 +365,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         max_candidates=args.max_candidates,
         relations=relations,
         seed=args.seed,
+        procs=args.procs,
     )
     print(
         f"{result.num_facts} facts discovered "
@@ -426,6 +428,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         top_n_values=tuple(args.top_n_values),
         max_candidates_values=tuple(args.max_candidates_values),
         seed=args.seed,
+        procs=args.procs,
     )
     rows = [p.to_dict() for p in points]
     print(
@@ -546,6 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--max-cell-attempts", type=int, default=3,
                            help="times a cell may be started (crashes count) "
                                 "before it is reported as failed")
+    reproduce.add_argument("--procs", type=int, default=1,
+                           help="worker processes for parallel execution (1 = serial; results are identical either way)")
     reproduce.add_argument("--metrics-out", default=None, metavar="PATH",
                            help="write a JSON metrics/span snapshot of the "
                                 "run (re-render with `repro obs`)")
@@ -622,6 +627,8 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--seed", type=int, default=0)
     discover.add_argument("--limit", type=int, default=20,
                           help="facts to print (0 = all)")
+    discover.add_argument("--procs", type=int, default=1,
+                          help="worker processes for parallel execution (1 = serial; results are identical either way)")
     discover.add_argument("-o", "--output", default=None,
                           help="write facts as TSV instead of printing")
     discover.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -648,6 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--max-candidates-values", type=int, nargs="+",
                       default=[50, 100, 200, 300, 400, 500])
     grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--procs", type=int, default=1,
+                      help="worker processes for parallel execution (1 = serial; results are identical either way)")
     grid.set_defaults(func=_cmd_grid)
 
     journal = sub.add_parser(

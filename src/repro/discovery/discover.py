@@ -36,10 +36,17 @@ from ..obs import (
     span,
     span_tree_delta,
 )
+from ..resilience import spawn_stream
 from .config import DiscoveryConfig
 from .strategies import SamplingStrategy, create_strategy
 
-__all__ = ["DiscoveryResult", "discover_facts", "MAX_GENERATION_ITERATIONS"]
+__all__ = [
+    "DiscoveryResult",
+    "RelationDiscovery",
+    "discover_facts",
+    "discover_relation",
+    "MAX_GENERATION_ITERATIONS",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -168,6 +175,122 @@ def _mesh_candidates(
     return out
 
 
+@dataclass
+class RelationDiscovery:
+    """One relation's slice of a discovery run (the parallel unit of work)."""
+
+    relation: int
+    facts: np.ndarray
+    ranks: np.ndarray
+    candidates_generated: int
+    generation_seconds: float
+    ranking_seconds: float
+
+
+def discover_relation(
+    model: KGEModel,
+    train,
+    strategy: SamplingStrategy,
+    relation: int,
+    rng: np.random.Generator,
+    top_n: int,
+    max_candidates: int,
+    sample_size: int,
+    drop_self_loops: bool,
+    rule_filter,
+    engine: RankingEngine,
+) -> RelationDiscovery:
+    """Lines 8–15 of Algorithm 1 for a single relation.
+
+    Module-level, with the RNG passed in explicitly, so the parallel
+    fabric (:mod:`repro.parallel`) can dispatch individual relations to
+    worker processes; the serial loop in :func:`discover_facts` runs
+    exactly this code with exactly the same per-relation stream, which
+    is what makes ``procs=N`` bit-identical to serial.
+    """
+    with span("discover.generate") as generate_span:
+        local: list[np.ndarray] = []
+        local_count = 0
+        seen_keys = np.empty(0, dtype=np.int64)
+        iterations = 0
+        while (
+            local_count < max_candidates
+            and iterations < MAX_GENERATION_ITERATIONS
+        ):
+            subjects = strategy.sample(
+                SUBJECT, sample_size, rng, relation=relation
+            )
+            objects = strategy.sample(
+                OBJECT, sample_size, rng, relation=relation
+            )
+            candidates = _mesh_candidates(subjects, relation, objects)
+            if drop_self_loops:
+                candidates = candidates[candidates[:, 0] != candidates[:, 2]]
+            # Line 12: filter triples already in G.
+            candidates = candidates[~train.contains(candidates)]
+            if rule_filter is not None:
+                candidates = candidates[rule_filter.accept_mask(candidates)]
+            # Deduplicate across iterations: vectorised probe against
+            # the sorted seen-keys array (repeats *within* one mesh
+            # batch are kept, exactly as the retired per-key Python
+            # loop did).
+            keys = encode_keys(
+                candidates, train.num_entities, train.num_relations
+            )
+            fresh = ~np.isin(keys, seen_keys)
+            candidates = candidates[fresh]
+            seen_keys = np.union1d(seen_keys, keys[fresh])
+            local.append(candidates)
+            local_count += len(candidates)
+            iterations += 1
+        relation_candidates = (
+            np.concatenate(local, axis=0)[:max_candidates]
+            if local
+            else np.zeros((0, 3), dtype=np.int64)
+        )
+    if len(relation_candidates) == 0:
+        return RelationDiscovery(
+            relation=relation,
+            facts=np.zeros((0, 3), dtype=np.int64),
+            ranks=np.zeros(0),
+            candidates_generated=0,
+            generation_seconds=generate_span.wall_seconds,
+            ranking_seconds=0.0,
+        )
+
+    # Line 14: rank candidates against their corruptions (standard
+    # filtered protocol per Bordes et al.), deduplicated by unique
+    # (s, r) query.  Scoring is pure inference: no_grad keeps the
+    # tape from recording backward closures for millions of
+    # candidate scores.
+    with span("rank") as rank_span:
+        with no_grad():
+            ranks = engine.compute_ranks(
+                model,
+                relation_candidates,
+                filter_triples=train,
+                side="object",
+            )
+
+    # Line 15: quality filter.
+    keep = ranks <= top_n
+    logger.debug(
+        "relation %d: %d/%d candidates within top_n=%d",
+        relation,
+        int(keep.sum()),
+        len(relation_candidates),
+        top_n,
+    )
+    return RelationDiscovery(
+        relation=relation,
+        facts=relation_candidates[keep],
+        ranks=ranks[keep],
+        candidates_generated=len(relation_candidates),
+        generation_seconds=generate_span.wall_seconds,
+        ranking_seconds=rank_span.wall_seconds,
+    )
+
+
 def discover_facts(
     model: KGEModel,
     graph: KnowledgeGraph,
@@ -182,6 +305,7 @@ def discover_facts(
     engine: RankingEngine | None = None,
     workers: int = 1,
     cache_size: int = 128,
+    procs: int = 1,
     config: DiscoveryConfig | None = None,
 ) -> DiscoveryResult:
     """Discover plausible missing facts from a trained KGE model.
@@ -206,7 +330,10 @@ def discover_facts(
         Relation ids to discover facts for; defaults to every relation in
         the training split.
     seed:
-        Seed for the entity sampler.
+        Base seed for the entity sampler.  Every relation draws from its
+        own stream, ``spawn_stream(seed, relation)``, so results are a
+        pure function of ``(seed, relation)`` — independent of relation
+        order and of how relations are distributed across processes.
     stats:
         Pre-computed :class:`GraphStatistics` (reused across runs so the
         weight-computation cost can also be measured in isolation).
@@ -229,6 +356,15 @@ def discover_facts(
         omitted); lets later generation iterations reuse rows for
         re-sampled ``(s, r)`` queries.  Each entry holds two
         ``num_entities``-sized float64 rows.
+    procs:
+        Worker *process* count.  With ``procs > 1`` relations are
+        dispatched across a spawn-based pool (:mod:`repro.parallel`)
+        scoring against shared-memory parameter views; results are
+        bit-identical to the serial path.  The model must be a
+        registry-constructible :class:`KGEModel` (it is republished from
+        its state dict), scoring runs in eval mode, and a passed-in
+        ``engine`` is ignored — each worker builds its own from
+        ``workers`` / ``cache_size``.
     config:
         Optional :class:`~repro.discovery.config.DiscoveryConfig`.  When
         given it replaces ``strategy``, ``top_n``, ``max_candidates``,
@@ -262,13 +398,14 @@ def discover_facts(
             f"has {graph.num_entities}; did you pass the wrong dataset?"
         )
 
-    rng = np.random.default_rng(seed)
+    if procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
     train = graph.train
     if stats is None:
         stats = GraphStatistics(train)
-    if engine is None:
+    if engine is None and procs == 1:
         engine = RankingEngine(cache_size=cache_size, workers=workers)
-    stats_before = getattr(engine, "stats", None)
+    stats_before = getattr(engine, "stats", None) if procs == 1 else None
     stats_baseline = stats_before.as_dict() if stats_before is not None else {}
 
     if isinstance(strategy, str):
@@ -298,84 +435,64 @@ def discover_facts(
         candidates_generated = 0
         generation_seconds = 0.0
         ranking_seconds = 0.0
+        parallel_ranking_stats: dict[str, float] = {}
 
-        for relation in relations:
-            with span("discover.generate") as generate_span:
-                local: list[np.ndarray] = []
-                local_count = 0
-                seen_keys = np.empty(0, dtype=np.int64)
-                iterations = 0
-                while (
-                    local_count < max_candidates
-                    and iterations < MAX_GENERATION_ITERATIONS
-                ):
-                    subjects = strategy.sample(
-                        SUBJECT, sample_size, rng, relation=relation
-                    )
-                    objects = strategy.sample(
-                        OBJECT, sample_size, rng, relation=relation
-                    )
-                    candidates = _mesh_candidates(subjects, relation, objects)
-                    if drop_self_loops:
-                        candidates = candidates[candidates[:, 0] != candidates[:, 2]]
-                    # Line 12: filter triples already in G.
-                    candidates = candidates[~train.contains(candidates)]
-                    if rule_filter is not None:
-                        candidates = candidates[rule_filter.accept_mask(candidates)]
-                    # Deduplicate across iterations: vectorised probe against
-                    # the sorted seen-keys array (repeats *within* one mesh
-                    # batch are kept, exactly as the retired per-key Python
-                    # loop did).
-                    keys = encode_keys(
-                        candidates, train.num_entities, train.num_relations
-                    )
-                    fresh = ~np.isin(keys, seen_keys)
-                    candidates = candidates[fresh]
-                    seen_keys = np.union1d(seen_keys, keys[fresh])
-                    local.append(candidates)
-                    local_count += len(candidates)
-                    iterations += 1
-                relation_candidates = (
-                    np.concatenate(local, axis=0)[:max_candidates]
-                    if local
-                    else np.zeros((0, 3), dtype=np.int64)
-                )
-            generation_seconds += generate_span.wall_seconds
-            candidates_generated += len(relation_candidates)
-            registry.counter("discover.relations_count").inc()
-            registry.counter("discover.candidates_count").inc(len(relation_candidates))
-            if len(relation_candidates) == 0:
-                per_relation[relation] = 0
-                continue
-
-            # Line 14: rank candidates against their corruptions (standard
-            # filtered protocol per Bordes et al.), deduplicated by unique
-            # (s, r) query.  Scoring is pure inference: no_grad keeps the
-            # tape from recording backward closures for millions of
-            # candidate scores.
-            with span("rank") as rank_span:
-                with no_grad():
-                    ranks = engine.compute_ranks(
-                        model,
-                        relation_candidates,
-                        filter_triples=train,
-                        side="object",
-                    )
-            ranking_seconds += rank_span.wall_seconds
-
-            # Line 15: quality filter.
-            keep = ranks <= top_n
-            all_facts.append(relation_candidates[keep])
-            all_ranks.append(ranks[keep])
-            per_relation[relation] = int(keep.sum())
-            registry.counter("discover.facts_count").inc(int(keep.sum()))
-            logger.debug(
-                "relation %d: %d/%d candidates within top_n=%d",
-                relation,
-                int(keep.sum()),
-                len(relation_candidates),
-                top_n,
+        if procs > 1:
+            outcomes = _discover_parallel(
+                model,
+                graph,
+                strategy,
+                relations,
+                seed=seed,
+                top_n=top_n,
+                max_candidates=max_candidates,
+                sample_size=sample_size,
+                drop_self_loops=drop_self_loops,
+                rule_filter=rule_filter,
+                procs=procs,
+                workers=workers,
+                cache_size=cache_size,
             )
+        else:
+            outcomes = (
+                (
+                    discover_relation(
+                        model,
+                        train,
+                        strategy,
+                        relation,
+                        spawn_stream(seed, relation),
+                        top_n=top_n,
+                        max_candidates=max_candidates,
+                        sample_size=sample_size,
+                        drop_self_loops=drop_self_loops,
+                        rule_filter=rule_filter,
+                        engine=engine,
+                    ),
+                    None,
+                )
+                for relation in relations
+            )
+
+        for outcome, worker_stats in outcomes:
+            generation_seconds += outcome.generation_seconds
+            ranking_seconds += outcome.ranking_seconds
+            candidates_generated += outcome.candidates_generated
+            registry.counter("discover.relations_count").inc()
+            registry.counter("discover.candidates_count").inc(
+                outcome.candidates_generated
+            )
+            per_relation[outcome.relation] = len(outcome.ranks)
+            if worker_stats:
+                for key, value in worker_stats.items():
+                    parallel_ranking_stats[key] = (
+                        parallel_ranking_stats.get(key, 0) + value
+                    )
+            if outcome.candidates_generated == 0:
+                continue
+            all_facts.append(outcome.facts)
+            all_ranks.append(outcome.ranks)
+            registry.counter("discover.facts_count").inc(len(outcome.ranks))
 
         facts = (
             np.concatenate(all_facts, axis=0)
@@ -400,7 +517,7 @@ def discover_facts(
         generation_seconds,
         ranking_seconds,
     )
-    ranking_stats: dict[str, float] = {}
+    ranking_stats: dict[str, float] = parallel_ranking_stats
     if stats_before is not None:
         after = stats_before.as_dict()
         ranking_stats = {
@@ -420,3 +537,65 @@ def discover_facts(
         ranking_stats=ranking_stats,
         trace=trace,
     )
+
+
+def _discover_parallel(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    strategy: SamplingStrategy,
+    relations: list[int],
+    seed: int,
+    top_n: int,
+    max_candidates: int,
+    sample_size: int,
+    drop_self_loops: bool,
+    rule_filter,
+    procs: int,
+    workers: int,
+    cache_size: int,
+) -> list[tuple["RelationDiscovery", dict]]:
+    """Dispatch relations across the process fabric; merged in order.
+
+    The model is republished to shared memory for the pool's lifetime;
+    the prepared strategy and graph ship once per worker process through
+    the scheduler context.  Worker span subtrees are folded back into
+    the active registry (under ``discover/parallel.cell``) so the run's
+    trace still covers the work done off-process.
+    """
+    from ..parallel import Cell, ParallelScheduler, SharedEmbeddingStore
+    from ..parallel.workers import DiscoveryContext, discover_relation_worker
+
+    registry = get_registry()
+    with SharedEmbeddingStore.publish(model) as store:
+        context = DiscoveryContext(
+            handle=store.handle,
+            graph=graph,
+            strategy=strategy,
+            seed=seed,
+            top_n=top_n,
+            max_candidates=max_candidates,
+            sample_size=sample_size,
+            drop_self_loops=drop_self_loops,
+            rule_filter=rule_filter,
+            workers=workers,
+            cache_size=cache_size,
+        )
+        scheduler = ParallelScheduler(
+            discover_relation_worker, procs, context=context, seed=seed
+        )
+        outcomes = scheduler.run(
+            [Cell(key=f"relation/{relation}", payload=int(relation))
+             for relation in relations]
+        )
+    merged: list[tuple[RelationDiscovery, dict]] = []
+    for outcome in outcomes:
+        if registry.enabled:
+            for path, node in outcome.trace.items():
+                registry.record_span(
+                    ("discover",) + tuple(path.split("/")),
+                    node["wall_seconds"],
+                    node["cpu_seconds"],
+                    count=node["count"],
+                )
+        merged.append((outcome.value["outcome"], outcome.value["ranking_stats"]))
+    return merged

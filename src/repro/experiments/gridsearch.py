@@ -71,36 +71,79 @@ def hyperparameter_grid(
     max_candidates_values: tuple[int, ...] = PAPER_MAX_CANDIDATES_GRID,
     seed: int = 0,
     stats: GraphStatistics | None = None,
+    procs: int = 1,
 ) -> list[GridPoint]:
     """Run discovery at every (top_n, max_candidates) grid point.
 
     Statistics are shared across the grid (the weight computation is not
     the variable under study here), matching how the paper holds one
     configuration fixed while sweeping the hyperparameters.
+
+    ``procs > 1`` dispatches grid points across a spawn-based process
+    pool (:mod:`repro.parallel`) scoring against a shared-memory copy of
+    the model.  Each worker computes its own (deterministic) graph
+    statistics, so the deterministic fields of every point are identical
+    to the serial sweep; only ``*_seconds`` timings differ.
     """
+    if procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
+    grid = [
+        (top_n, max_candidates)
+        for max_candidates in max_candidates_values
+        for top_n in top_n_values
+    ]
+    if procs > 1:
+        return _grid_parallel(model, graph, strategy, grid, seed, procs)
     if stats is None:
         stats = GraphStatistics(graph.train)
     points: list[GridPoint] = []
-    for max_candidates in max_candidates_values:
-        for top_n in top_n_values:
-            result = discover_facts(
-                model,
-                graph,
-                strategy=strategy,
+    for top_n, max_candidates in grid:
+        result = discover_facts(
+            model,
+            graph,
+            strategy=strategy,
+            top_n=top_n,
+            max_candidates=max_candidates,
+            seed=seed,
+            stats=stats,
+        )
+        points.append(
+            GridPoint(
+                strategy=result.strategy,
                 top_n=top_n,
                 max_candidates=max_candidates,
-                seed=seed,
-                stats=stats,
+                num_facts=result.num_facts,
+                mrr=result.mrr(),
+                runtime_seconds=result.runtime_seconds,
+                efficiency_facts_per_hour=result.efficiency_facts_per_hour(),
             )
-            points.append(
-                GridPoint(
-                    strategy=result.strategy,
-                    top_n=top_n,
-                    max_candidates=max_candidates,
-                    num_facts=result.num_facts,
-                    mrr=result.mrr(),
-                    runtime_seconds=result.runtime_seconds,
-                    efficiency_facts_per_hour=result.efficiency_facts_per_hour(),
-                )
-            )
+        )
     return points
+
+
+def _grid_parallel(
+    model: KGEModel,
+    graph: KnowledgeGraph,
+    strategy: str,
+    grid: list[tuple[int, int]],
+    seed: int,
+    procs: int,
+) -> list[GridPoint]:
+    """Sweep the grid across worker processes; merged in grid order."""
+    from ..parallel import Cell, ParallelScheduler, SharedEmbeddingStore
+    from ..parallel.workers import GridContext, grid_point_worker
+
+    with SharedEmbeddingStore.publish(model) as store:
+        context = GridContext(
+            handle=store.handle, graph=graph, strategy=strategy, seed=seed
+        )
+        scheduler = ParallelScheduler(
+            grid_point_worker, procs, context=context, seed=seed
+        )
+        outcomes = scheduler.run(
+            [
+                Cell(key=f"grid/{top_n}/{max_candidates}", payload=(top_n, max_candidates))
+                for top_n, max_candidates in grid
+            ]
+        )
+    return [GridPoint(**outcome.value) for outcome in outcomes]

@@ -132,17 +132,28 @@ class NegativeSampler:
     def _resample_positives(
         self, negatives: np.ndarray, corrupt_object: np.ndarray
     ) -> None:
-        """Replace corruptions that are true triples, bounded rounds."""
+        """Replace corruptions that are true triples, bounded rounds.
+
+        The first round probes every slot; afterwards only the slots
+        just resampled can still collide (untouched rows keep their
+        verified non-hit), so each later round probes that shrinking
+        active set instead of re-encoding the whole batch.  Hit slots
+        are visited in the same ascending order either way, so the
+        number and order of RNG draws — and therefore the sampled
+        negatives — are identical to the full-sweep loop this replaces.
+        """
         flat = negatives.reshape(-1, 3)
         flat_mask = corrupt_object.reshape(-1)
+        active: np.ndarray | None = None
         for _ in range(self.max_resample_rounds):
-            hits = self.triples.contains(flat)
+            hits = self.triples.contains(flat if active is None else flat[active])
             if not hits.any():
                 return
-            idx = np.flatnonzero(hits)
+            idx = np.flatnonzero(hits) if active is None else active[hits]
             fresh = self.rng.integers(0, self.triples.num_entities, size=idx.size)
             obj_side = flat_mask[idx]
             flat[idx[obj_side], 2] = fresh[obj_side]
             flat[idx[~obj_side], 0] = fresh[~obj_side]
+            active = idx
         # After the bounded rounds a handful of accidental positives may
         # survive; standard libraries accept this residue too.

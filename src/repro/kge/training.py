@@ -101,22 +101,17 @@ def _enable_sparse_grads(model: KGEModel, config: TrainConfig) -> None:
     ``"auto"`` restricts the fast path to the negative-sampling job: the
     kvsall/1vsall regimes score against *all* entities, so their entity
     gradients are inherently dense and the flag would only add a
-    densify round-trip per step.  It also skips the combination of a
-    lazy optimizer (Adam, SGD with momentum) with a model whose
-    ``post_batch_hook`` mutates parameters directly (TransE): that hook
-    forces a full ``flush()`` per batch, turning the lazy catch-up into
-    a whole-table replay every step — strictly slower than the fused
-    dense sweep.  ``"on"`` forces the flag regardless (still
-    bit-identical, just not faster there).
+    densify round-trip per step.  Lazy optimizers (Adam, SGD with
+    momentum) stay enabled even for models whose ``post_batch_hook``
+    mutates parameters directly (TransE): the per-batch ``flush()`` that
+    hook forces leaves every stale row exactly one step behind, which
+    the optimizers replay through a fused in-place kernel that costs no
+    more than the dense sweep while still skipping the dense gradient
+    materialisation.  ``"on"`` forces the flag regardless of job (still
+    bit-identical, just not faster under kvsall/1vsall).
     """
-    lazy_optimizer = config.optimizer == "adam" or (
-        config.optimizer == "sgd" and config.momentum > 0.0
-    )
-    batch_flush = type(model).post_batch_hook is not KGEModel.post_batch_hook
     enable = config.sparse_grads == "on" or (
-        config.sparse_grads == "auto"
-        and config.job == "negative_sampling"
-        and not (lazy_optimizer and batch_flush)
+        config.sparse_grads == "auto" and config.job == "negative_sampling"
     )
     for param in model.sparse_entity_parameters():
         param.sparse_grad = enable

@@ -41,6 +41,9 @@ RPR013    export integrity — unresolved project imports, broken
           ``__all__`` re-export chains, shadowed bindings (whole-program)
 RPR014    exception contracts — broad excepts that swallow typed
           project errors raised in the try body (whole-program)
+RPR015    process-pool safety — spawned workers must be module-level
+          picklable functions, re-seed via rng/seed or spawn_stream,
+          and not read module-global RNG streams or file handles
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -87,6 +90,7 @@ from . import (
     rules_exports,
     rules_hygiene,
     rules_obs,
+    rules_parallel,
     rules_reportable,
     rules_resilience,
     rules_rng,
@@ -144,6 +148,7 @@ __all__ = [
     "rules_exports",
     "rules_hygiene",
     "rules_obs",
+    "rules_parallel",
     "rules_reportable",
     "rules_resilience",
     "rules_rng",

@@ -1,0 +1,40 @@
+"""repro.parallel — stdlib-only multiprocess execution fabric.
+
+The paper's evaluation is embarrassingly parallel: the experiment matrix
+is a grid of independent (dataset × model × strategy) cells, discovery
+iterates independent relations, and the hyperparameter sweep iterates
+independent grid points.  This package executes those units across a
+spawn-based process pool while preserving two hard guarantees:
+
+1. **Determinism** — results are bit-identical to the serial code path.
+   Merging happens in submission order and every unit derives its RNG
+   from the campaign seed alone (:func:`~repro.resilience.spawn_stream`),
+   never from which worker ran it or when.
+2. **Crash safety** — the :class:`~repro.resilience.RunJournal` remains
+   the source of truth exactly as in the serial runner: attempts are
+   journalled before dispatch, worker deaths consume attempt budget, and
+   resumed campaigns replay completed cells bit-identically.
+
+Model parameters travel through :class:`SharedEmbeddingStore`
+(:mod:`multiprocessing.shared_memory`): workers score against zero-copy
+read-only views instead of per-process pickled copies.
+
+Layering: sits above :mod:`repro.kge`, :mod:`repro.resilience` and
+:mod:`repro.obs`; the experiment layers import it lazily at call time
+(``procs > 1``) and worker entry points live in
+:mod:`repro.parallel.workers`.
+"""
+
+from .scheduler import Cell, CellOutcome, ParallelScheduler, WorkerCrashError
+from .shared import ArraySpec, ModelHandle, SharedEmbeddingStore, attach_model
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "ParallelScheduler",
+    "WorkerCrashError",
+    "ArraySpec",
+    "ModelHandle",
+    "SharedEmbeddingStore",
+    "attach_model",
+]

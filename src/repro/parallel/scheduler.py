@@ -1,0 +1,300 @@
+"""Crash-safe process-pool scheduling of journalled campaign cells.
+
+:class:`ParallelScheduler` dispatches independent *cells* (one unit of
+campaign work, e.g. one ``dataset/model/strategy`` matrix entry) across
+a spawn-based :class:`~concurrent.futures.ProcessPoolExecutor` while
+keeping the exact semantics of the serial resilience stack:
+
+* the PR-3 :class:`~repro.resilience.RunJournal` stays the source of
+  truth — ``cell_started`` is written *before* a cell is handed to a
+  worker, so a worker killed mid-cell still consumes an attempt on
+  resume, exactly like a process crash in the serial runner;
+* every dispatch derives its own RNG stream via
+  :func:`~repro.resilience.spawn_stream` ``(seed, index, attempt)``, so
+  retries never replay the identical failing draw yet remain fully
+  deterministic;
+* outcomes are merged **in submission order**, so the result list is
+  independent of worker completion order;
+* a cell whose attempt budget is exhausted degrades exactly as
+  ``on_error="degrade"`` does serially: the failure fingerprint is
+  journalled and surfaced in the outcome instead of aborting the run.
+
+Worker functions must be module-level picklable callables (lint rule
+RPR015 enforces this for in-repo call sites) with the signature
+``worker(context, payload, rng)``; ``context`` is the scheduler's
+``context`` object, shipped once per worker process through the pool
+initializer rather than once per cell.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Callable
+
+from ..obs import MetricsRegistry, flatten_spans, get_registry, span, use_registry
+from ..resilience import ResilienceError, RunJournal, error_fingerprint, spawn_stream
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["Cell", "CellOutcome", "WorkerCrashError", "ParallelScheduler"]
+
+
+class WorkerCrashError(ResilienceError):
+    """A worker process died (segfault, OOM-kill, os._exit) mid-cell."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable unit of work.
+
+    ``payload`` is handed to the worker function verbatim and must be
+    picklable; keep it small — large shared inputs (graphs, embedding
+    handles) belong in the scheduler ``context`` or in shared memory.
+    """
+
+    key: str
+    payload: object = None
+
+
+@dataclass
+class CellOutcome:
+    """Result of one cell after scheduling (status ``ok`` or ``failed``)."""
+
+    key: str
+    value: object = None
+    status: str = "ok"
+    error: str = ""
+    attempts: int = 0
+    trace: dict = field(default_factory=dict)
+
+
+def _pool_initializer(context: object) -> None:
+    """Spawn-side bootstrap: stash the shared context for this process."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+_WORKER_CONTEXT: object = None
+
+
+def _run_cell(
+    worker: Callable,
+    index: int,
+    attempt: int,
+    seed: int,
+    payload: object,
+    capture_trace: bool,
+) -> tuple[object, dict]:
+    """Module-level dispatch wrapper executed inside a worker process.
+
+    Re-seeds deterministically per (cell index, attempt) via
+    :func:`spawn_stream` and, when the parent has observability enabled,
+    records the worker-side span subtree so the parent can attach it to
+    the outcome.
+    """
+    rng = spawn_stream(seed, index, attempt)
+    if not capture_trace:
+        return worker(_WORKER_CONTEXT, payload, rng), {}
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with span("parallel.cell"):
+            value = worker(_WORKER_CONTEXT, payload, rng)
+    return value, flatten_spans(registry.snapshot()["spans"])
+
+
+class ParallelScheduler:
+    """Dispatch cells across a spawn pool with journalled retry budgets.
+
+    Parameters
+    ----------
+    worker:
+        Module-level callable ``worker(context, payload, rng) -> value``.
+    procs:
+        Worker process count (the submission window is ``2 * procs`` so a
+        pool crash can only burn attempts for cells already in flight).
+    context:
+        Arbitrary picklable object shipped once per worker process.
+    seed:
+        Base seed for the per-cell ``spawn_stream(seed, index, attempt)``
+        streams handed to workers.
+    journal:
+        Optional :class:`RunJournal`; events mirror the serial runner
+        (``cell_started`` / ``cell_succeeded`` / ``cell_failed``).
+    on_error:
+        ``"raise"`` aborts on the first cell failure (journal preserves
+        progress), ``"degrade"`` retries up to ``max_attempts`` starts
+        per cell and then emits a failed outcome.  Worker *crashes* (a
+        process dying, not an exception) are retried within the attempt
+        budget in both modes — serially a crash takes the whole campaign
+        down and the journal resumes it, so retrying is the parallel
+        equivalent; ``"raise"`` still propagates once the budget is gone.
+    """
+
+    def __init__(
+        self,
+        worker: Callable,
+        procs: int,
+        context: object = None,
+        seed: int = 0,
+        journal: RunJournal | None = None,
+        max_attempts: int = 3,
+        on_error: str = "raise",
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        if on_error not in ("raise", "degrade"):
+            raise ValueError(f"on_error must be 'raise' or 'degrade', got {on_error!r}")
+        self.worker = worker
+        self.procs = procs
+        self.context = context
+        self.seed = seed
+        self.journal = journal
+        self.max_attempts = max_attempts
+        self.on_error = on_error
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.procs,
+            mp_context=get_context("spawn"),
+            initializer=_pool_initializer,
+            initargs=(self.context,),
+        )
+
+    def run(
+        self,
+        cells: list[Cell],
+        attempts: dict[str, int] | None = None,
+    ) -> list[CellOutcome]:
+        """Execute ``cells``, returning outcomes in submission order.
+
+        ``attempts`` carries starts already consumed by earlier runs of
+        the same journal (resume); a cell is only dispatched while its
+        total start count stays below ``max_attempts``.
+        """
+        registry = get_registry()
+        attempts = dict(attempts or {})
+        outcomes: list[CellOutcome | None] = [None] * len(cells)
+        last_error: dict[str, str] = {}
+        pending: deque[tuple[int, Cell]] = deque(enumerate(cells))
+        window = 2 * self.procs
+        with span("parallel.dispatch"):
+            executor = self._new_executor()
+            in_flight: dict[Future, tuple[int, Cell, int]] = {}
+            try:
+                while pending or in_flight:
+                    while pending and len(in_flight) < window:
+                        index, cell = pending.popleft()
+                        attempt = attempts.get(cell.key, 0) + 1
+                        attempts[cell.key] = attempt
+                        if self.journal is not None:
+                            # Workers are separate processes; the journal is
+                            # only ever touched from this dispatch thread.
+                            # lint: disable=RPR011
+                            self.journal.append(
+                                "cell_started", cell=cell.key, attempt=attempt
+                            )
+                        future = executor.submit(
+                            _run_cell,
+                            self.worker,
+                            index,
+                            attempt,
+                            self.seed,
+                            cell.payload,
+                            registry.enabled,
+                        )
+                        in_flight[future] = (index, cell, attempt)
+                    done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    crashed = False
+                    for future in done:
+                        index, cell, attempt = in_flight.pop(future)
+                        try:
+                            value, trace = future.result()
+                        except BrokenProcessPool:
+                            crashed = True
+                            self._cell_failed(
+                                outcomes, pending, attempts, last_error,
+                                index, cell, attempt,
+                                WorkerCrashError(
+                                    f"worker process died while running {cell.key}"
+                                ),
+                                registry,
+                            )
+                        except Exception as error:
+                            self._cell_failed(
+                                outcomes, pending, attempts, last_error,
+                                index, cell, attempt, error, registry,
+                            )
+                        else:
+                            if self.journal is not None:
+                                # lint: disable=RPR011 (dispatch thread only)
+                                self.journal.append(
+                                    "cell_succeeded", cell=cell.key, row=value
+                                )
+                            registry.counter("parallel.cells_count").inc()
+                            outcomes[index] = CellOutcome(
+                                key=cell.key,
+                                value=value,
+                                attempts=attempt,
+                                trace=trace,
+                            )
+                    if crashed:
+                        # The pool is unusable: every still-running future
+                        # fails with BrokenProcessPool.  Drain them as
+                        # crashes, then rebuild the pool and continue.
+                        registry.counter("parallel.worker_crashes_count").inc()
+                        for future, (index, cell, attempt) in list(in_flight.items()):
+                            self._cell_failed(
+                                outcomes, pending, attempts, last_error,
+                                index, cell, attempt,
+                                WorkerCrashError(
+                                    f"worker pool broke while {cell.key} was in flight"
+                                ),
+                                registry,
+                            )
+                        in_flight.clear()
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _cell_failed(
+        self,
+        outcomes: list[CellOutcome | None],
+        pending: deque,
+        attempts: dict[str, int],
+        last_error: dict[str, str],
+        index: int,
+        cell: Cell,
+        attempt: int,
+        error: Exception,
+        registry,
+    ) -> None:
+        """Journal one failed dispatch, then requeue, degrade, or raise."""
+        fingerprint = error_fingerprint(error)
+        last_error[cell.key] = fingerprint
+        registry.counter("parallel.cell_failures_count").inc()
+        if self.journal is not None:
+            # lint: disable=RPR011 (dispatch thread only)
+            self.journal.append(
+                "cell_failed", cell=cell.key, attempt=attempt, error=fingerprint
+            )
+        if self.on_error == "raise" and not isinstance(error, WorkerCrashError):
+            raise error
+        logger.warning("cell %s failed on attempt %d: %s", cell.key, attempt, fingerprint)
+        if attempts.get(cell.key, 0) < self.max_attempts:
+            pending.append((index, cell))
+        elif self.on_error == "raise":
+            raise error
+        else:
+            outcomes[index] = CellOutcome(
+                key=cell.key,
+                status="failed",
+                error=fingerprint,
+                attempts=attempt,
+            )

@@ -1,0 +1,198 @@
+"""Shared-memory model publication: zero-copy embeddings across processes.
+
+The campaign fabric (:mod:`repro.parallel.scheduler`) spawns worker
+processes that score candidates against trained models.  Pickling a
+model into every worker would copy the full embedding tables per
+process; instead the parent *publishes* the model's parameter matrices
+into one :mod:`multiprocessing.shared_memory` segment and ships workers
+a tiny picklable :class:`ModelHandle`.  Workers rebuild the module tree
+from the handle's header and bind every parameter to a **read-only
+view** over the segment (:meth:`repro.autograd.Module.bind_state`), so
+all workers on a host score against the same physical pages.
+
+Ownership rules
+---------------
+
+* The publishing process owns the segment: it is the only one that may
+  :meth:`~SharedEmbeddingStore.close` with ``unlink=True`` (destroying
+  the segment), and it must outlive every worker that attaches.
+* Attached views are read-only — an attached model is inference-only by
+  construction; writing to its parameters raises at assignment time.
+* Workers attach via :func:`attach_model` from processes spawned by the
+  publisher, which therefore share its resource-tracker process: the
+  attachment's duplicate registration is a set no-op there, and segment
+  lifetime stays solely with the publisher's unlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..kge.base import KGEModel, create_model
+
+__all__ = ["ArraySpec", "ModelHandle", "SharedEmbeddingStore", "attach_model"]
+
+#: Byte alignment of every array inside a segment (numpy is happiest
+#: when float64 blocks start on cache-line-friendly boundaries).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one named state array inside a shared segment."""
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """Picklable description of a model published to shared memory.
+
+    Carries the checkpoint-style rebuild header (registry name, sizes,
+    seed, constructor options) plus the segment name and the placement
+    of every state array; :func:`attach_model` turns it back into a
+    scoring-ready model without copying any parameter data.
+    """
+
+    segment: str
+    specs: tuple[ArraySpec, ...]
+    model: str
+    num_entities: int
+    num_relations: int
+    dim: int
+    seed: int
+    options: dict = field(default_factory=dict)
+
+
+class SharedEmbeddingStore:
+    """Owner-side handle of one published model (parent process only).
+
+    Use as a context manager — the segment is unlinked on exit even when
+    the campaign fails, so no shared-memory segments leak:
+
+    >>> with SharedEmbeddingStore.publish(model) as store:   # doctest: +SKIP
+    ...     scheduler.run(cells_referencing(store.handle))
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: ModelHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+
+    @classmethod
+    def publish(cls, model: KGEModel) -> "SharedEmbeddingStore":
+        """Copy ``model``'s state into a fresh shared-memory segment."""
+        state = model.state_dict()
+        specs: list[ArraySpec] = []
+        offset = 0
+        for name in sorted(state):
+            array = np.ascontiguousarray(state[name])
+            state[name] = array
+            offset = _aligned(offset)
+            specs.append(
+                ArraySpec(
+                    name=name,
+                    offset=offset,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                )
+            )
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        try:
+            for spec in specs:
+                view = np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=shm.buf,
+                    offset=spec.offset,
+                )
+                view[...] = state[spec.name]
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        handle = ModelHandle(
+            segment=shm.name,
+            specs=tuple(specs),
+            model=model.model_name,
+            num_entities=model.num_entities,
+            num_relations=model.num_relations,
+            dim=model.dim,
+            seed=model.seed,
+            options=model.config_options(),
+        )
+        return cls(shm, handle)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment in bytes."""
+        return self._shm.size
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the owner's mapping; ``unlink`` destroys the segment.
+
+        Idempotent.  Attached workers keep their existing mappings alive
+        (POSIX semantics), but no new process can attach after unlink.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if unlink:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedEmbeddingStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close(unlink=True)
+        return False
+
+
+def attach_model(handle: ModelHandle) -> tuple[KGEModel, shared_memory.SharedMemory]:
+    """Rebuild a published model with zero-copy parameter views (worker side).
+
+    Returns the evaluation-mode model plus the segment mapping, which the
+    caller must keep referenced for as long as the model is used (the
+    parameter arrays alias its buffer) and ``close()`` when done.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    # CPython registers *attachments* with the resource tracker as if
+    # they were owned.  Spawned children share the publisher's tracker
+    # process, whose per-type cache is a set — the duplicate REGISTER is
+    # a no-op and the publisher's unlink clears the single entry, so no
+    # compensating unregister is needed (and sending one would delete
+    # the publisher's own registration).  Attaching from an unrelated
+    # process tree is outside this fabric's contract.
+    model = create_model(
+        handle.model,
+        num_entities=handle.num_entities,
+        num_relations=handle.num_relations,
+        dim=handle.dim,
+        seed=handle.seed,
+        **handle.options,
+    )
+    state: dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        view = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=shm.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        state[spec.name] = view
+    model.bind_state(state)
+    model.eval()
+    return model, shm

@@ -88,11 +88,11 @@ class TestDenseSparseBitIdentity:
         forced = _train(tiny_graph, "distmult", sparse=True)
         _assert_states_equal(auto, forced)
 
-    def test_auto_skips_lazy_optimizer_with_batch_hook(self, tiny_graph):
+    def test_auto_enables_lazy_optimizer_with_batch_hook(self, tiny_graph):
         # TransE's per-batch row renormalisation forces a flush per step,
-        # which makes a lazy optimizer's catch-up a full-table replay —
-        # auto keeps Adam (and SGD+momentum) dense there, while eager
-        # optimizers still get the fast path.
+        # leaving every stale row exactly one step behind — the lazy
+        # optimizers replay that through the fused one-step kernel, so
+        # auto keeps the fast path on for Adam and SGD+momentum too.
         def entity_flag(**overrides):
             model = create_model(
                 "transe",
@@ -104,11 +104,11 @@ class TestDenseSparseBitIdentity:
             train_model(model, tiny_graph, _config(epochs=1, **overrides))
             return model.entity_embeddings.weight.sparse_grad
 
-        assert not entity_flag(sparse_grads="auto", optimizer="adam")
-        assert not entity_flag(sparse_grads="auto", optimizer="sgd", momentum=0.9)
+        assert entity_flag(sparse_grads="auto", optimizer="adam")
+        assert entity_flag(sparse_grads="auto", optimizer="sgd", momentum=0.9)
         assert entity_flag(sparse_grads="auto", optimizer="adagrad")
         assert entity_flag(sparse_grads="auto", optimizer="sgd")
-        assert entity_flag(sparse_grads="on", optimizer="adam")
+        assert not entity_flag(sparse_grads="off", optimizer="adam")
 
     def test_auto_stays_dense_for_kvsall(self, tiny_graph):
         model = create_model(

@@ -1,0 +1,32 @@
+"""RPR015 bad fixture: spawn-hostile process-pool dispatch, six ways."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from fabric import ParallelScheduler
+
+STREAM = np.random.default_rng(123)
+LOG = open("/tmp/rpr015.log", "a")
+
+
+def relation_worker(context, payload):
+    LOG.write(f"cell {payload}\n")
+    return float(STREAM.random()) + payload
+
+
+def run_cells(cells):
+    scheduler = ParallelScheduler(lambda ctx, p, rng: p, procs=2)
+
+    def local_worker(ctx, payload, rng):
+        return payload
+
+    ParallelScheduler(local_worker, procs=2)
+    ParallelScheduler(relation_worker, procs=2)
+    return scheduler
+
+
+def run_batches(jobs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        handler = lambda job: job + 1  # noqa: E731
+        return [pool.submit(handler, job) for job in jobs]

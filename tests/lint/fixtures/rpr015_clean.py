@@ -1,0 +1,31 @@
+"""RPR015 clean fixture: module-level workers with per-task streams."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from fabric import ParallelScheduler, spawn_stream
+
+_CACHE = {}
+
+
+def relation_worker(context, payload, rng):
+    return float(rng.random()) + payload
+
+
+def derived_worker(context, payload):
+    rng = spawn_stream(context.seed, payload)
+    return float(rng.random())
+
+
+def bootstrap(context):
+    _CACHE["context"] = context
+
+
+def run_cells(cells):
+    scheduler = ParallelScheduler(relation_worker, procs=2)
+    ParallelScheduler(derived_worker, procs=2)
+    return scheduler
+
+
+def run_batches(jobs):
+    with ProcessPoolExecutor(max_workers=2, initializer=bootstrap) as pool:
+        return [pool.submit(relation_worker, None, job, None) for job in jobs]

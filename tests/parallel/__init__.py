@@ -1,0 +1,1 @@
+"""Tests for the repro.parallel multiprocess execution fabric."""

@@ -1,0 +1,120 @@
+"""Acceptance: ``procs > 1`` is bit-identical to serial on every
+deterministic field — only wall-clock timings and traces may differ.
+
+Each entry point that grew a ``procs`` knob (``discover_facts``,
+``hyperparameter_grid``, ``run_matrix``) is run serially and through a
+two-process spawn pool with the same seed, and their results compared
+field by field.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.discovery import discover_facts
+from repro.experiments import clear_model_cache, run_matrix
+from repro.experiments.gridsearch import hyperparameter_grid
+
+
+class TestDiscoverFactsEquivalence:
+    def test_parallel_discovery_matches_serial(self, trained_distmult, tiny_graph):
+        kwargs = dict(
+            strategy="entity_frequency",
+            top_n=20,
+            max_candidates=50,
+            seed=3,
+        )
+        serial = discover_facts(trained_distmult, tiny_graph, **kwargs)
+        parallel = discover_facts(trained_distmult, tiny_graph, procs=2, **kwargs)
+        np.testing.assert_array_equal(parallel.facts, serial.facts)
+        np.testing.assert_array_equal(parallel.ranks, serial.ranks)
+        assert parallel.strategy == serial.strategy
+        assert parallel.top_n == serial.top_n
+        assert parallel.max_candidates == serial.max_candidates
+        assert parallel.candidates_generated == serial.candidates_generated
+        assert parallel.per_relation == serial.per_relation
+        assert parallel.num_facts == serial.num_facts
+        assert parallel.mrr() == serial.mrr()
+
+    def test_relation_subset_matches_serial(self, trained_distmult, tiny_graph):
+        """Restricting to explicit relations keeps the per-relation
+        streams aligned regardless of which worker runs which."""
+        relations = [1, 3]
+        serial = discover_facts(
+            trained_distmult,
+            tiny_graph,
+            strategy="uniform_random",
+            top_n=15,
+            max_candidates=36,
+            relations=relations,
+            seed=9,
+        )
+        parallel = discover_facts(
+            trained_distmult,
+            tiny_graph,
+            strategy="uniform_random",
+            top_n=15,
+            max_candidates=36,
+            relations=relations,
+            seed=9,
+            procs=2,
+        )
+        np.testing.assert_array_equal(parallel.facts, serial.facts)
+        np.testing.assert_array_equal(parallel.ranks, serial.ranks)
+        assert parallel.per_relation == serial.per_relation
+
+
+class TestGridEquivalence:
+    def test_parallel_grid_matches_serial(self, trained_distmult, tiny_graph):
+        kwargs = dict(
+            strategy="uniform_random",
+            top_n_values=(10, 25),
+            max_candidates_values=(36,),
+            seed=5,
+        )
+        serial = hyperparameter_grid(trained_distmult, tiny_graph, **kwargs)
+        parallel = hyperparameter_grid(
+            trained_distmult, tiny_graph, procs=2, **kwargs
+        )
+        assert len(parallel) == len(serial) == 2
+        for serial_point, parallel_point in zip(serial, parallel):
+            assert parallel_point.strategy == serial_point.strategy
+            assert parallel_point.top_n == serial_point.top_n
+            assert parallel_point.max_candidates == serial_point.max_candidates
+            assert parallel_point.num_facts == serial_point.num_facts
+            assert parallel_point.mrr == serial_point.mrr
+
+
+class TestMatrixEquivalence:
+    @pytest.fixture()
+    def model_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path / "cache"))
+        clear_model_cache()
+        yield
+        clear_model_cache()
+
+    def test_parallel_matrix_matches_serial(self, model_cache):
+        kwargs = dict(
+            datasets=("wn18rr-like",),
+            models=("distmult",),
+            strategies=("uniform_random", "entity_frequency"),
+            top_n=50,
+            max_candidates=100,
+            seed=0,
+        )
+        serial = run_matrix(**kwargs)
+        parallel = run_matrix(procs=2, **kwargs)
+        assert len(parallel) == len(serial) == 2
+        for serial_row, parallel_row in zip(serial, parallel):
+            assert parallel_row.dataset == serial_row.dataset
+            assert parallel_row.model == serial_row.model
+            assert parallel_row.strategy == serial_row.strategy
+            assert parallel_row.status == serial_row.status == "ok"
+            assert parallel_row.num_facts == serial_row.num_facts
+            assert parallel_row.mrr == serial_row.mrr
+            assert math.isnan(parallel_row.test_mrr) and math.isnan(
+                serial_row.test_mrr
+            )

@@ -1,0 +1,271 @@
+"""ParallelScheduler: ordering, determinism, journalling, crash recovery.
+
+Worker functions live at module level — spawn pickles them by qualified
+name and re-imports this module inside each worker process, so they can
+use only their arguments and the filesystem (sentinel files passed via
+``context`` stand in for "state that survives a worker death").
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import Cell, CellOutcome, ParallelScheduler, WorkerCrashError
+from repro.resilience import RunJournal, spawn_stream
+
+
+def echo_worker(context, payload, rng):
+    return payload
+
+
+def draw_worker(context, payload, rng):
+    return float(rng.random())
+
+
+def context_worker(context, payload, rng):
+    return context["offset"] + payload
+
+
+def sleep_worker(context, payload, rng):
+    time.sleep(payload)
+    return payload
+
+
+def failing_worker(context, payload, rng):
+    if payload == "boom":
+        raise ValueError(f"cannot process {payload}")
+    return payload
+
+
+def kill_once_worker(context, payload, rng):
+    """SIGKILL this worker process the first time the cell runs.
+
+    The sentinel file outlives the killed process, so the retry (in a
+    fresh process after the pool is rebuilt) completes normally.
+    """
+    sentinel = context["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload
+
+
+def kill_if_marked_worker(context, payload, rng):
+    """SIGKILL while the marker file exists; succeed once it is removed."""
+    if os.path.exists(context["marker"]):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload
+
+
+def cells(n: int) -> list[Cell]:
+    return [Cell(key=f"cell-{i}", payload=i) for i in range(n)]
+
+
+class TestValidation:
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ValueError, match="procs"):
+            ParallelScheduler(echo_worker, procs=0)
+
+    def test_rejects_unknown_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ParallelScheduler(echo_worker, procs=1, on_error="ignore")
+
+
+class TestScheduling:
+    def test_outcomes_merge_in_submission_order(self):
+        """The first cell sleeps long enough that the second finishes
+        first; the outcome list must still follow submission order."""
+        scheduler = ParallelScheduler(sleep_worker, procs=2, seed=0)
+        outcomes = scheduler.run(
+            [Cell(key="slow", payload=0.4), Cell(key="fast", payload=0.0)]
+        )
+        assert [outcome.key for outcome in outcomes] == ["slow", "fast"]
+        assert [outcome.value for outcome in outcomes] == [0.4, 0.0]
+        assert all(outcome.status == "ok" for outcome in outcomes)
+
+    def test_context_ships_to_every_worker(self):
+        scheduler = ParallelScheduler(
+            context_worker, procs=2, context={"offset": 100}, seed=0
+        )
+        outcomes = scheduler.run(cells(4))
+        assert [outcome.value for outcome in outcomes] == [100, 101, 102, 103]
+
+    def test_rng_streams_derive_from_seed_index_attempt(self):
+        """Workers draw from spawn_stream(seed, index, attempt) — a pure
+        function of the dispatch, not of which process ran the cell."""
+        scheduler = ParallelScheduler(draw_worker, procs=2, seed=17)
+        outcomes = scheduler.run(cells(5))
+        expected = [float(spawn_stream(17, i, 1).random()) for i in range(5)]
+        assert [outcome.value for outcome in outcomes] == expected
+
+
+class TestJournalling:
+    def test_events_mirror_the_serial_runner(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(echo_worker, procs=2, seed=0, journal=journal)
+        outcomes = scheduler.run(cells(3))
+        assert len(outcomes) == 3
+        view = journal.read()
+        started = view.by_event("cell_started")
+        succeeded = view.by_event("cell_succeeded")
+        assert {record["cell"] for record in started} == {f"cell-{i}" for i in range(3)}
+        assert all(record["attempt"] == 1 for record in started)
+        assert {record["cell"]: record["row"] for record in succeeded} == {
+            f"cell-{i}": i for i in range(3)
+        }
+        assert view.by_event("cell_failed") == []
+
+    def test_resume_honours_attempts_consumed_by_earlier_runs(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            failing_worker,
+            procs=1,
+            seed=0,
+            journal=journal,
+            max_attempts=2,
+            on_error="degrade",
+        )
+        # One attempt already burned (e.g. by a previous campaign run):
+        # only one more start fits in the budget.
+        outcomes = scheduler.run(
+            [Cell(key="bad", payload="boom")], attempts={"bad": 1}
+        )
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].attempts == 2
+        assert len(journal.read().by_event("cell_started")) == 1
+        # The budget is spent: a further resume dispatches nothing.
+        resumed = scheduler.run([], attempts={"bad": 2})
+        assert resumed == []
+
+
+class TestFailureModes:
+    def test_raise_mode_propagates_worker_exception(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            failing_worker, procs=1, seed=0, journal=journal, on_error="raise"
+        )
+        with pytest.raises(ValueError, match="cannot process boom"):
+            scheduler.run([Cell(key="bad", payload="boom")])
+        failed = journal.read().by_event("cell_failed")
+        assert len(failed) == 1
+        assert failed[0]["error"].startswith("ValueError")
+
+    def test_degrade_mode_retries_then_emits_failed_outcome(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            failing_worker,
+            procs=1,
+            seed=0,
+            journal=journal,
+            max_attempts=2,
+            on_error="degrade",
+        )
+        outcomes = scheduler.run(
+            [Cell(key="bad", payload="boom"), Cell(key="good", payload="fine")]
+        )
+        assert [outcome.key for outcome in outcomes] == ["bad", "good"]
+        bad, good = outcomes
+        assert bad.status == "failed"
+        assert bad.attempts == 2
+        assert bad.error.startswith("ValueError")
+        assert good.status == "ok" and good.value == "fine"
+        view = journal.read()
+        assert len(view.by_event("cell_failed")) == 2
+        assert len(view.by_event("cell_succeeded")) == 1
+
+
+class TestWorkerCrashes:
+    def test_killed_worker_is_retried_in_a_fresh_pool(self, tmp_path):
+        """A SIGKILLed worker consumes an attempt; the pool is rebuilt and
+        the retry succeeds — in both on_error modes, as serially a crash
+        takes the campaign down and the journal resumes it."""
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            kill_once_worker,
+            procs=1,
+            context={"sentinel": str(tmp_path / "died-once")},
+            seed=0,
+            journal=journal,
+            max_attempts=3,
+            on_error="raise",
+        )
+        outcomes = scheduler.run([Cell(key="fragile", payload="ok")])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].value == "ok"
+        assert outcomes[0].attempts == 2
+        view = journal.read()
+        assert [r["attempt"] for r in view.by_event("cell_started")] == [1, 2]
+        failed = view.by_event("cell_failed")
+        assert len(failed) == 1
+        assert failed[0]["error"].startswith("WorkerCrashError")
+
+    def test_crash_budget_exhaustion_raises_worker_crash_error(self, tmp_path):
+        marker = tmp_path / "always-crash"
+        marker.touch()
+        scheduler = ParallelScheduler(
+            kill_if_marked_worker,
+            procs=1,
+            context={"marker": str(marker)},
+            seed=0,
+            max_attempts=2,
+            on_error="raise",
+        )
+        with pytest.raises(WorkerCrashError):
+            scheduler.run([Cell(key="doomed", payload=0)])
+
+    def test_journal_resume_after_killed_worker(self, tmp_path):
+        """Mid-campaign worker death, then resume: the journal carries the
+        attempt ledger across runs and the cell completes within budget."""
+        marker = tmp_path / "crashing"
+        marker.touch()
+        journal = RunJournal(tmp_path / "run.jsonl")
+        run1 = ParallelScheduler(
+            kill_if_marked_worker,
+            procs=1,
+            context={"marker": str(marker)},
+            seed=0,
+            journal=journal,
+            max_attempts=1,
+            on_error="degrade",
+        )
+        outcomes = run1.run([Cell(key="flaky", payload=7)])
+        assert outcomes[0].status == "failed"
+
+        # Rebuild the attempt ledger from the journal, exactly as
+        # CampaignState.from_journal counts cell_started records.
+        view = journal.read()
+        attempts: dict[str, int] = {}
+        for record in view.by_event("cell_started"):
+            attempts[record["cell"]] = attempts.get(record["cell"], 0) + 1
+        assert attempts == {"flaky": 1}
+
+        marker.unlink()  # the transient fault is gone on restart
+        run2 = ParallelScheduler(
+            kill_if_marked_worker,
+            procs=1,
+            context={"marker": str(marker)},
+            seed=0,
+            journal=journal,
+            max_attempts=2,
+            on_error="degrade",
+        )
+        resumed = run2.run([Cell(key="flaky", payload=7)], attempts=attempts)
+        assert resumed[0].status == "ok"
+        assert resumed[0].value == 7
+        assert resumed[0].attempts == 2
+        timeline = [record["event"] for record in journal.read().records]
+        assert timeline == [
+            "cell_started", "cell_failed", "cell_started", "cell_succeeded",
+        ]
+
+
+def test_cell_outcome_defaults():
+    outcome = CellOutcome(key="k")
+    assert outcome.status == "ok"
+    assert outcome.error == ""
+    assert outcome.trace == {}

@@ -1,0 +1,102 @@
+"""SharedEmbeddingStore: publish/attach round trip and segment lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedEmbeddingStore, attach_model
+
+
+class TestPublishAttachRoundTrip:
+    def test_attached_state_matches_published_model(self, trained_distmult):
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            model, shm = attach_model(store.handle)
+            try:
+                original = trained_distmult.state_dict()
+                attached = model.state_dict()
+                assert sorted(attached) == sorted(original)
+                for name in original:
+                    np.testing.assert_array_equal(attached[name], original[name])
+            finally:
+                shm.close()
+
+    def test_attached_model_scores_bit_identically(self, trained_distmult, tiny_graph):
+        triples = tiny_graph.train.array[:64]
+        expected = trained_distmult.scores_spo(triples)
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            model, shm = attach_model(store.handle)
+            try:
+                np.testing.assert_array_equal(model.scores_spo(triples), expected)
+            finally:
+                shm.close()
+
+    def test_attached_views_are_read_only_and_zero_copy(self, trained_distmult):
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            model, shm = attach_model(store.handle)
+            try:
+                assert not model.training
+                parameters = list(model.parameters())
+                assert parameters
+                for parameter in parameters:
+                    assert not parameter.data.flags.writeable
+                    with pytest.raises(ValueError):
+                        parameter.data[...] = 0.0
+                    # The array aliases the segment, not a per-process copy.
+                    assert not parameter.data.flags.owndata
+            finally:
+                shm.close()
+
+    def test_specs_are_cache_line_aligned(self, trained_distmult):
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            assert store.handle.specs  # at least one state array
+            for spec in store.handle.specs:
+                assert spec.offset % 64 == 0
+            assert store.nbytes >= sum(
+                np.dtype(spec.dtype).itemsize * int(np.prod(spec.shape))
+                for spec in store.handle.specs
+            )
+
+    def test_handle_is_picklable(self, trained_distmult):
+        import pickle
+
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            clone = pickle.loads(pickle.dumps(store.handle))
+            assert clone == store.handle
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, trained_distmult):
+        store = SharedEmbeddingStore.publish(trained_distmult)
+        store.close(unlink=True)
+        store.close(unlink=True)  # second close must be a no-op
+
+    def test_unlink_prevents_new_attachments(self, trained_distmult):
+        store = SharedEmbeddingStore.publish(trained_distmult)
+        handle = store.handle
+        store.close(unlink=True)
+        with pytest.raises(FileNotFoundError):
+            attach_model(handle)
+
+    def test_context_manager_unlinks_on_error(self, trained_distmult):
+        handle = None
+        with pytest.raises(RuntimeError, match="campaign failed"):
+            with SharedEmbeddingStore.publish(trained_distmult) as store:
+                handle = store.handle
+                raise RuntimeError("campaign failed")
+        with pytest.raises(FileNotFoundError):
+            attach_model(handle)
+
+    def test_existing_attachment_survives_owner_unlink(self, trained_distmult):
+        """POSIX semantics: unlink only blocks new attachments; mappings
+        already held keep working until their holder closes them."""
+        store = SharedEmbeddingStore.publish(trained_distmult)
+        model, shm = attach_model(store.handle)
+        try:
+            store.close(unlink=True)
+            matrix = model.entity_matrix()
+            np.testing.assert_array_equal(
+                matrix, trained_distmult.entity_matrix()
+            )
+        finally:
+            shm.close()

@@ -1,0 +1,204 @@
+"""Fault-recovery benchmarks — supervision overhead and time-to-recovery.
+
+Two questions about the chaos-hardened fabric:
+
+* **What does supervision cost when nothing goes wrong?**  The watchdog
+  adds two heartbeat bumps per cell (worker side) and a deadline check
+  per dispatch-loop wakeup (parent side).  Both are microbenchmarked and
+  expressed as a fraction of a representative cell's runtime — that
+  per-cell fraction is the asserted <1% budget.  An end-to-end paired
+  run (same cells, watchdog off/on) is also recorded, but not gated:
+  its total is dominated by the ~1-2s pool spawn, so a run-to-run noise
+  wiggle would drown the signal the budget is about.
+* **How long does recovery take?**  A worker SIGKILLed mid-cell and a
+  worker stalled past its deadline each force the scheduler to kill and
+  rebuild the pool, charge the attempt, and re-dispatch.  Time to
+  recovery is the wall-clock penalty of one such event over the
+  fault-free run of the same cells (respawn dominates; the stall case
+  additionally pays the deadline itself).
+
+Results: ``benchmarks/results/BENCH_faults.json`` plus the rendered
+table in ``benchmarks/results/fault_recovery.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+from common import RESULTS_DIR, save_and_print
+
+from repro.experiments import format_table
+from repro.parallel import Cell, ParallelScheduler
+from repro.parallel.watchdog import HeartbeatBoard
+from repro.resilience import Deadline
+
+#: Per-cell supervision cost budget on fault-free runs.
+OVERHEAD_BUDGET = 0.01
+
+#: Representative per-cell workload (numbers crunched per dispatch).
+CELL_WORK = 200_000
+
+#: Cells per end-to-end scheduler run.
+NUM_CELLS = 8
+
+
+def busy_worker(context, payload, rng):
+    """A cell doing real numeric work for a few tens of milliseconds."""
+    values = np.arange(CELL_WORK, dtype=np.float64) * (payload + 1)
+    return float(np.sqrt(values).sum())
+
+
+def kill_once_worker(context, payload, rng):
+    """SIGKILL the worker the first time cell 0 runs; succeed on retry."""
+    sentinel = context["sentinel"]
+    if payload == 0 and not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), 9)
+    return busy_worker(context, payload, rng)
+
+
+def stall_once_worker(context, payload, rng):
+    """Hang cell 0 past its deadline the first time; succeed on retry."""
+    sentinel = context["sentinel"]
+    if payload == 0 and not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        time.sleep(60.0)
+    return busy_worker(context, payload, rng)
+
+
+def _cells():
+    return [Cell(key=f"cell-{i}", payload=i) for i in range(NUM_CELLS)]
+
+
+def _timed_run(worker, context=None, **scheduler_kwargs):
+    scheduler = ParallelScheduler(
+        worker, 2, context=context, on_error="degrade", **scheduler_kwargs
+    )
+    t0 = time.perf_counter()
+    outcomes = scheduler.run(_cells())
+    elapsed = time.perf_counter() - t0
+    assert all(outcome.status == "ok" for outcome in outcomes)
+    return elapsed
+
+
+def _best_of(fn, repeats=3):
+    return min(fn() for _ in range(repeats))
+
+
+def _per_call_seconds(fn, calls=20_000):
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - t0) / calls
+
+
+def test_fault_recovery(tmp_path):
+    # -- supervision microcosts ------------------------------------------
+    with HeartbeatBoard.create() as board:
+        beat_s = _per_call_seconds(board.beat)
+    deadline = Deadline.after(3600.0)
+    check_s = _per_call_seconds(lambda: deadline.check("bench"))
+
+    t0 = time.perf_counter()
+    busy_worker(None, 0, None)
+    cell_s = time.perf_counter() - t0
+    for _ in range(4):  # best of 5
+        t0 = time.perf_counter()
+        busy_worker(None, 0, None)
+        cell_s = min(cell_s, time.perf_counter() - t0)
+
+    # Two beats per cell (start/end) plus a handful of parent-side
+    # deadline evaluations per dispatch-loop wakeup.
+    per_cell_supervision_s = 2 * beat_s + 4 * check_s
+    overhead_fraction = per_cell_supervision_s / cell_s
+    assert overhead_fraction < OVERHEAD_BUDGET
+
+    # -- end-to-end paired run (recorded, not gated: spawn noise) --------
+    plain_s = _best_of(lambda: _timed_run(busy_worker))
+    supervised_s = _best_of(
+        lambda: _timed_run(
+            busy_worker, cell_deadline=60.0, heartbeat_timeout=30.0
+        )
+    )
+    end_to_end_delta = supervised_s / plain_s - 1.0
+
+    # -- time to recovery ------------------------------------------------
+    killed_s = _timed_run(
+        kill_once_worker,
+        context={"sentinel": str(tmp_path / "killed")},
+        max_attempts=3,
+    )
+    time_to_recovery_killed = max(killed_s - plain_s, 0.0)
+
+    # The deadline clock starts at dispatch and so includes the ~1-2s
+    # pool (re)spawn; a budget below that floor times out every retry.
+    stalled_s = _timed_run(
+        stall_once_worker,
+        context={"sentinel": str(tmp_path / "stalled")},
+        max_attempts=3,
+        cell_deadline=5.0,
+    )
+    time_to_recovery_stalled = max(stalled_s - plain_s, 0.0)
+
+    # Recovery must be bounded by kill-detect + respawn (+ deadline for
+    # the stall), nowhere near a retry-from-scratch of the campaign.
+    assert time_to_recovery_killed < 30.0
+    assert time_to_recovery_stalled < 30.0
+
+    rows = [
+        {
+            "scenario": "fault-free, watchdog off",
+            "runtime_s": round(plain_s, 3),
+            "recovery_s": "-",
+        },
+        {
+            "scenario": "fault-free, watchdog on",
+            "runtime_s": round(supervised_s, 3),
+            "recovery_s": "-",
+        },
+        {
+            "scenario": "one worker SIGKILLed",
+            "runtime_s": round(killed_s, 3),
+            "recovery_s": round(time_to_recovery_killed, 3),
+        },
+        {
+            "scenario": "one worker stalled past deadline",
+            "runtime_s": round(stalled_s, 3),
+            "recovery_s": round(time_to_recovery_stalled, 3),
+        },
+    ]
+
+    payload = {
+        "beat_seconds": beat_s,
+        "deadline_check_seconds": check_s,
+        "representative_cell_seconds": cell_s,
+        "per_cell_supervision_seconds": per_cell_supervision_s,
+        "overhead_fraction": overhead_fraction,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "end_to_end_plain_seconds": plain_s,
+        "end_to_end_supervised_seconds": supervised_s,
+        "end_to_end_delta_fraction": end_to_end_delta,
+        "time_to_recovery_killed_seconds": time_to_recovery_killed,
+        "time_to_recovery_stalled_seconds": time_to_recovery_stalled,
+        "cells": NUM_CELLS,
+        "procs": 2,
+        "host_cpus": os.cpu_count() or 1,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_faults.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    save_and_print(
+        "fault_recovery",
+        format_table(
+            rows,
+            title="Watchdog overhead and time-to-recovery "
+            f"(8 cells, procs=2, supervision {overhead_fraction:.4%}/cell)",
+        ),
+    )

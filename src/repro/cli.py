@@ -15,6 +15,11 @@ Commands
 * ``grid`` — sweep the ``top_n`` × ``max_candidates`` hyperparameter grid;
 * ``journal`` — summarise a campaign run-journal (completed / failed /
   in-flight cells with failure fingerprints);
+* ``chaos`` — run a seeded fault schedule (worker SIGKILL, poisoned
+  shared-memory attach, torn journal write) against a small campaign and
+  assert the recovery invariants: no orphaned shared-memory segments,
+  a replayable journal, and post-recovery results bit-identical to a
+  fault-free run;
 * ``lint`` — run the domain-aware static analyser (``repro.lint``) over
   the codebase; all arguments are forwarded to ``repro-lint``.
 
@@ -150,6 +155,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         max_cell_attempts=args.max_cell_attempts,
         on_error="degrade" if args.journal else "raise",
         procs=args.procs,
+        cell_deadline=args.cell_deadline,
     )
     failed = [r for r in rows if r.status != "ok"]
     if failed:
@@ -366,6 +372,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         relations=relations,
         seed=args.seed,
         procs=args.procs,
+        cell_deadline=args.cell_deadline,
     )
     print(
         f"{result.num_facts} facts discovered "
@@ -429,6 +436,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         max_candidates_values=tuple(args.max_candidates_values),
         seed=args.seed,
         procs=args.procs,
+        cell_deadline=args.cell_deadline,
     )
     rows = [p.to_dict() for p in points]
     print(
@@ -484,6 +492,156 @@ def _cmd_journal(args: argparse.Namespace) -> int:
                 title="Unfinished cells (re-attempted on resume)",
             )
         )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection acceptance run: break the fabric, then prove recovery.
+
+    Three passes over one small campaign:
+
+    1. a fault-free baseline;
+    2. a chaos pass under a seeded :class:`~repro.faults.FaultPlan`
+       (worker SIGKILL at dispatch, poisoned shared-memory attach, torn
+       journal append) that is allowed to crash and restart;
+    3. a recovery pass with faults cleared and a raised attempt budget,
+       resuming the chaos journal.
+
+    The invariants asserted at the end are the ones the execution fabric
+    promises: zero orphaned shared-memory segments, a replayable journal
+    (torn tails quarantined, every cell completed), and recovery rows
+    bit-identical to the baseline on every deterministic field.
+    """
+    import tempfile
+
+    from .experiments import run_matrix
+    from .faults import FaultPlan, clear, install
+    from .parallel import orphaned_segments, reap_orphans
+    from .resilience import RunJournal
+
+    def deterministic_fields(rows):
+        # repr() round-trips floats bit-exactly and makes NaN comparable;
+        # *_seconds timings and span traces legitimately differ per run.
+        return [
+            (r.dataset, r.model, r.strategy, r.status, r.num_facts,
+             repr(r.mrr), repr(r.test_mrr))
+            for r in rows
+        ]
+
+    stale = reap_orphans()
+    if stale:
+        print(f"reaped {len(stale)} orphaned segment(s) from earlier runs: "
+              f"{', '.join(stale)}")
+
+    campaign = dict(
+        datasets=("wn18rr-like",),
+        models=("distmult",),
+        strategies=("uniform_random", "entity_frequency"),
+        top_n=args.top_n,
+        max_candidates=args.max_candidates,
+        seed=args.seed,
+        procs=args.procs,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        journal_path = Path(workdir) / "chaos.jsonl"
+
+        print("pass 1/3: fault-free baseline...")
+        baseline = run_matrix(**campaign)
+
+        plan = (
+            FaultPlan()
+            .kill("worker_dispatch", match="*uniform_random*", times=1)
+            .fail("shared_attach", times=1)
+            .torn(match="cell_succeeded", times=1)
+            .fail("matrix_cell", match="*entity_frequency*", times=1)
+        )
+        print(f"pass 2/3: chaos pass ({len(plan.faults)} faults armed, "
+              f"journal {journal_path.name})...")
+        install(plan)
+        restarts = 0
+        try:
+            while True:
+                try:
+                    run_matrix(
+                        journal_path=journal_path,
+                        max_cell_attempts=args.max_cell_attempts,
+                        on_error="degrade",
+                        **campaign,
+                    )
+                    break
+                except Exception as error:
+                    restarts += 1
+                    if restarts > 5:
+                        raise SystemExit(
+                            f"error: chaos campaign did not survive 5 "
+                            f"restarts (last: {error})"
+                        )
+                    print(f"  campaign crashed ({type(error).__name__}: "
+                          f"{error}); restarting from the journal")
+        finally:
+            clear()
+        print(f"  {plan.fired()} parent-side fault(s) fired, "
+              f"{restarts} restart(s)")
+
+        print("pass 3/3: recovery pass (faults cleared, attempt budget "
+              f"raised to {args.max_cell_attempts + 3})...")
+        recovered = run_matrix(
+            journal_path=journal_path,
+            max_cell_attempts=args.max_cell_attempts + 3,
+            on_error="degrade",
+            **campaign,
+        )
+
+        view = RunJournal(journal_path).read()
+        orphans = orphaned_segments()
+        failures: list[str] = []
+        if orphans:
+            failures.append(
+                f"orphaned shared-memory segments left behind: {orphans}"
+            )
+        bad_rows = [
+            f"{r.dataset}/{r.model}/{r.strategy}"
+            for r in recovered
+            if r.status != "ok"
+        ]
+        if bad_rows:
+            failures.append(f"cells still failed after recovery: {bad_rows}")
+        if view.corrupt_lines:
+            failures.append(
+                f"journal replay skipped {view.corrupt_lines} corrupt "
+                f"line(s) — torn tails must be quarantined, not skipped"
+            )
+        if deterministic_fields(recovered) != deterministic_fields(baseline):
+            failures.append(
+                "recovered rows differ from the fault-free baseline on "
+                "deterministic fields"
+            )
+
+        checks = [
+            {"invariant": "no orphaned /dev/shm segments",
+             "status": "FAIL" if orphans else "ok"},
+            {"invariant": "journal replayable (no corrupt lines)",
+             "status": "FAIL" if view.corrupt_lines else "ok"},
+            {"invariant": "all cells recovered",
+             "status": "FAIL" if bad_rows else "ok"},
+            {"invariant": "recovery bit-identical to baseline",
+             "status": "FAIL"
+             if deterministic_fields(recovered) != deterministic_fields(baseline)
+             else "ok"},
+        ]
+        print()
+        print(format_table(
+            checks,
+            title=f"Chaos invariants ({len(view.records)} journal records, "
+                  f"journal v{view.version})",
+        ))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("all chaos invariants hold")
     return 0
 
 
@@ -551,6 +709,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 "before it is reported as failed")
     reproduce.add_argument("--procs", type=int, default=1,
                            help="worker processes for parallel execution (1 = serial; results are identical either way)")
+    reproduce.add_argument("--cell-deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="wall-clock budget per matrix cell; overruns "
+                                "are journalled as cell_timeout and charged "
+                                "against the attempt budget (with --procs > 1 "
+                                "the watchdog kills the overdue worker — size "
+                                "the budget above the ~1-2s pool spawn cost)")
     reproduce.add_argument("--metrics-out", default=None, metavar="PATH",
                            help="write a JSON metrics/span snapshot of the "
                                 "run (re-render with `repro obs`)")
@@ -629,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="facts to print (0 = all)")
     discover.add_argument("--procs", type=int, default=1,
                           help="worker processes for parallel execution (1 = serial; results are identical either way)")
+    discover.add_argument("--cell-deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget per relation when --procs "
+                               "> 1 (watchdog-enforced; ignored serially)")
     discover.add_argument("-o", "--output", default=None,
                           help="write facts as TSV instead of printing")
     discover.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -657,6 +826,10 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--seed", type=int, default=0)
     grid.add_argument("--procs", type=int, default=1,
                       help="worker processes for parallel execution (1 = serial; results are identical either way)")
+    grid.add_argument("--cell-deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget per grid point (cooperative "
+                           "serially, watchdog-enforced with --procs > 1)")
     grid.set_defaults(func=_cmd_grid)
 
     journal = sub.add_parser(
@@ -664,6 +837,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal.add_argument("journal", help="path to a JSONL run-journal")
     journal.set_defaults(func=_cmd_journal)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection acceptance run against a small campaign",
+        description="Runs a fault-free baseline, a chaos pass under a "
+        "seeded fault schedule (worker SIGKILL, poisoned shared-memory "
+        "attach, torn journal write), and a recovery pass resuming the "
+        "same journal — then asserts zero orphaned segments, a "
+        "replayable journal, and bit-identical recovered results.",
+    )
+    chaos.add_argument("--procs", type=int, default=2,
+                       help="worker processes (2 exercises the worker-side "
+                            "fault sites; 1 runs the serial schedule only)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--top-n", type=int, default=50)
+    chaos.add_argument("--max-candidates", type=int, default=100)
+    chaos.add_argument("--max-cell-attempts", type=int, default=2,
+                       help="attempt budget during the chaos pass (the "
+                            "recovery pass raises it by 3)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     obs = sub.add_parser(
         "obs", help="re-render a --metrics-out snapshot"

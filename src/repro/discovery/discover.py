@@ -36,7 +36,7 @@ from ..obs import (
     span,
     span_tree_delta,
 )
-from ..resilience import spawn_stream
+from ..resilience import Deadline, spawn_stream
 from .config import DiscoveryConfig
 from .strategies import SamplingStrategy, create_strategy
 
@@ -307,6 +307,8 @@ def discover_facts(
     cache_size: int = 128,
     procs: int = 1,
     config: DiscoveryConfig | None = None,
+    deadline: Deadline | None = None,
+    cell_deadline: float | None = None,
 ) -> DiscoveryResult:
     """Discover plausible missing facts from a trained KGE model.
 
@@ -372,6 +374,16 @@ def discover_facts(
         wholesale — mixing a config with explicit values for those
         arguments is not supported, so a serialized config replays the
         exact run it describes.
+    deadline:
+        Optional cooperative :class:`~repro.resilience.Deadline` from the
+        caller (e.g. ``run_matrix``'s per-cell budget).  The serial loop
+        checks it between relations — a running relation is never
+        interrupted — and raises
+        :class:`~repro.resilience.DeadlineExceededError` on overrun.
+    cell_deadline:
+        Per-*relation* wall-clock budget in seconds for the parallel
+        path: the scheduler watchdog kills a worker whose relation cell
+        overshoots it.  Ignored when ``procs == 1`` (use ``deadline``).
 
     Returns
     -------
@@ -452,27 +464,35 @@ def discover_facts(
                 procs=procs,
                 workers=workers,
                 cache_size=cache_size,
+                cell_deadline=cell_deadline,
             )
         else:
-            outcomes = (
-                (
-                    discover_relation(
-                        model,
-                        train,
-                        strategy,
-                        relation,
-                        spawn_stream(seed, relation),
-                        top_n=top_n,
-                        max_candidates=max_candidates,
-                        sample_size=sample_size,
-                        drop_self_loops=drop_self_loops,
-                        rule_filter=rule_filter,
-                        engine=engine,
-                    ),
-                    None,
-                )
-                for relation in relations
-            )
+
+            def serial_outcomes():
+                # Cooperative deadline enforcement: a relation in
+                # progress always finishes; the budget is checked at
+                # each relation boundary.
+                for relation in relations:
+                    if deadline is not None:
+                        deadline.check(f"discover_facts:relation/{relation}")
+                    yield (
+                        discover_relation(
+                            model,
+                            train,
+                            strategy,
+                            relation,
+                            spawn_stream(seed, relation),
+                            top_n=top_n,
+                            max_candidates=max_candidates,
+                            sample_size=sample_size,
+                            drop_self_loops=drop_self_loops,
+                            rule_filter=rule_filter,
+                            engine=engine,
+                        ),
+                        None,
+                    )
+
+            outcomes = serial_outcomes()
 
         for outcome, worker_stats in outcomes:
             generation_seconds += outcome.generation_seconds
@@ -553,6 +573,7 @@ def _discover_parallel(
     procs: int,
     workers: int,
     cache_size: int,
+    cell_deadline: float | None = None,
 ) -> list[tuple["RelationDiscovery", dict]]:
     """Dispatch relations across the process fabric; merged in order.
 
@@ -581,7 +602,8 @@ def _discover_parallel(
             cache_size=cache_size,
         )
         scheduler = ParallelScheduler(
-            discover_relation_worker, procs, context=context, seed=seed
+            discover_relation_worker, procs, context=context, seed=seed,
+            cell_deadline=cell_deadline,
         )
         outcomes = scheduler.run(
             [Cell(key=f"relation/{relation}", payload=int(relation))

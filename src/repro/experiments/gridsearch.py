@@ -14,6 +14,7 @@ from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel
 from ..obs import DeprecatedKeyDict, ReportableMixin
+from ..resilience import Deadline
 
 __all__ = [
     "GridPoint",
@@ -72,6 +73,7 @@ def hyperparameter_grid(
     seed: int = 0,
     stats: GraphStatistics | None = None,
     procs: int = 1,
+    cell_deadline: float | None = None,
 ) -> list[GridPoint]:
     """Run discovery at every (top_n, max_candidates) grid point.
 
@@ -84,6 +86,11 @@ def hyperparameter_grid(
     the model.  Each worker computes its own (deterministic) graph
     statistics, so the deterministic fields of every point are identical
     to the serial sweep; only ``*_seconds`` timings differ.
+
+    ``cell_deadline`` bounds one grid point's wall clock in seconds:
+    serially via a cooperative per-point
+    :class:`~repro.resilience.Deadline` checked between relations inside
+    discovery, in parallel via the scheduler watchdog.
     """
     if procs < 1:
         raise ValueError(f"procs must be >= 1, got {procs}")
@@ -93,11 +100,16 @@ def hyperparameter_grid(
         for top_n in top_n_values
     ]
     if procs > 1:
-        return _grid_parallel(model, graph, strategy, grid, seed, procs)
+        return _grid_parallel(
+            model, graph, strategy, grid, seed, procs, cell_deadline
+        )
     if stats is None:
         stats = GraphStatistics(graph.train)
     points: list[GridPoint] = []
     for top_n, max_candidates in grid:
+        deadline = (
+            Deadline.after(cell_deadline) if cell_deadline is not None else None
+        )
         result = discover_facts(
             model,
             graph,
@@ -106,6 +118,7 @@ def hyperparameter_grid(
             max_candidates=max_candidates,
             seed=seed,
             stats=stats,
+            deadline=deadline,
         )
         points.append(
             GridPoint(
@@ -128,6 +141,7 @@ def _grid_parallel(
     grid: list[tuple[int, int]],
     seed: int,
     procs: int,
+    cell_deadline: float | None = None,
 ) -> list[GridPoint]:
     """Sweep the grid across worker processes; merged in grid order."""
     from ..parallel import Cell, ParallelScheduler, SharedEmbeddingStore
@@ -138,7 +152,8 @@ def _grid_parallel(
             handle=store.handle, graph=graph, strategy=strategy, seed=seed
         )
         scheduler = ParallelScheduler(
-            grid_point_worker, procs, context=context, seed=seed
+            grid_point_worker, procs, context=context, seed=seed,
+            cell_deadline=cell_deadline,
         )
         outcomes = scheduler.run(
             [

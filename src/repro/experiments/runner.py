@@ -50,6 +50,8 @@ from ..kge.evaluation import evaluate_ranking
 from ..kge.training import train_model
 from ..resilience import (
     CheckpointCorruptError,
+    Deadline,
+    DeadlineExceededError,
     GuardConfig,
     ResilienceError,
     RetryPolicy,
@@ -208,6 +210,7 @@ def get_trained_model(
     graph: KnowledgeGraph | None = None,
     guard: GuardConfig | None = None,
     retry_policy: RetryPolicy | None = None,
+    deadline: Deadline | None = None,
 ) -> KGEModel:
     """Return a trained model for a (dataset, model) pair, cached.
 
@@ -283,6 +286,7 @@ def get_trained_model(
         train_attempt,
         retry_policy or _DEFAULT_RETRY,
         label=f"get_trained_model:{dataset_name}/{model_name}",
+        deadline=deadline,
     )
     model.eval()  # match the cache-load path (batch norm / dropout)
     if use_disk_cache:
@@ -402,7 +406,7 @@ class CampaignState:
                 attempts[key] = attempts.get(key, 0) + 1
             elif event == "cell_succeeded" and isinstance(record.get("row"), dict):
                 completed[key] = record["row"]
-            elif event == "cell_failed":
+            elif event in ("cell_failed", "cell_timeout"):
                 last_error[key] = str(record.get("error", ""))
         return cls(completed=completed, attempts=attempts, last_error=last_error)
 
@@ -424,6 +428,7 @@ def run_matrix(
     max_cell_attempts: int = 3,
     on_error: str = "raise",
     procs: int = 1,
+    cell_deadline: float | None = None,
 ) -> list[MatrixRow]:
     """Run discovery for every (dataset, model, strategy) combination.
 
@@ -452,6 +457,15 @@ def run_matrix(
     journalled attempt per dependent cell per campaign run (serially
     each cell retrains up to its whole budget within one run); resuming
     the campaign retries them.
+
+    ``cell_deadline`` bounds each cell's wall clock in seconds.  The
+    serial path enforces it cooperatively — a fresh
+    :class:`~repro.resilience.Deadline` per cell is threaded into the
+    training retry loop and checked between discovery relations, and an
+    overrun journals a ``cell_timeout`` event charged against the cell's
+    attempt budget.  The parallel path enforces it preemptively: the
+    scheduler watchdog kills overdue workers (size the budget above the
+    ~1-2s pool spawn cost).
     """
     if on_error not in ("raise", "degrade"):
         raise ValueError(f"on_error must be 'raise' or 'degrade', got {on_error!r}")
@@ -478,6 +492,7 @@ def run_matrix(
             max_cell_attempts=max_cell_attempts,
             on_error=on_error,
             procs=procs,
+            cell_deadline=cell_deadline,
         )
 
     rows: list[MatrixRow] = []
@@ -515,11 +530,17 @@ def run_matrix(
                     cell_before = (
                         registry.snapshot()["spans"] if registry.enabled else None
                     )
+                    deadline = (
+                        Deadline.after(cell_deadline)
+                        if cell_deadline is not None
+                        else None
+                    )
                     try:
                         faults.trigger("matrix_cell", key)
                         with span("matrix.cell"):
                             model = get_trained_model(
-                                dataset_name, model_name, graph=graph
+                                dataset_name, model_name, graph=graph,
+                                deadline=deadline,
                             )
                             if evaluate_models and model_name not in test_mrr_cache:
                                 test_mrr_cache[model_name] = evaluate_ranking(
@@ -539,13 +560,16 @@ def run_matrix(
                                 max_candidates=max_candidates,
                                 seed=seed,
                                 stats=stats,
+                                deadline=deadline,
                             )
                     except Exception as error:
                         registry.counter("matrix.cell_failures_count").inc()
                         fingerprint = error_fingerprint(error)
                         if journal is not None:
                             journal.append(
-                                "cell_failed",
+                                "cell_timeout"
+                                if isinstance(error, DeadlineExceededError)
+                                else "cell_failed",
                                 cell=key,
                                 attempt=state.attempts.get(key, attempts + 1),
                                 error=fingerprint,
@@ -615,6 +639,7 @@ def _run_matrix_parallel(
     max_cell_attempts: int,
     on_error: str,
     procs: int,
+    cell_deadline: float | None = None,
 ) -> list[MatrixRow]:
     """Dispatch the matrix across the process fabric (``procs > 1``).
 
@@ -734,6 +759,7 @@ def _run_matrix_parallel(
                     journal=journal,
                     max_attempts=max_cell_attempts,
                     on_error=on_error,
+                    cell_deadline=cell_deadline,
                 )
                 outcomes = scheduler.run(cells, attempts=dict(state.attempts))
         finally:

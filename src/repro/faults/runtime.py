@@ -1,0 +1,202 @@
+"""Per-process fault-plan activation and the instrumented hook points.
+
+Production code calls the module-level hooks (:func:`trigger`,
+:func:`corrupt_file`, :func:`stall_seconds`, :func:`torn_append`) at
+well-known *sites*; with no plan installed every hook is a near-free
+early return.  Tests and the ``repro chaos`` driver install a
+:class:`~repro.faults.FaultPlan` (usually via the :func:`inject`
+context manager) to prove each recovery path.
+
+Instrumented sites
+------------------
+
+===================  ====================================================
+site                 token
+===================  ====================================================
+``train_epoch``      epoch index
+``matrix_cell``      ``dataset/model/strategy``
+``worker_dispatch``  cell key, fired inside the worker process
+``shared_attach``    shared-memory segment name
+``journal_append``   event name of the record being appended
+``heartbeat_emit``   heartbeat slot index
+any retry label      attempt index (via :func:`stall_seconds`)
+``save``             every path published through ``atomic_write``
+===================  ====================================================
+
+Cross-process transport
+-----------------------
+
+Spawned workers inherit the parent's environment, so an active plan is
+shipped as a JSON payload in :data:`FAULT_PLAN_ENV`
+(:func:`export_to_env` / :func:`install_from_env`).  The scheduler sets
+the variable for the lifetime of its pool and the pool initializer
+installs from it, which makes every fault site live inside workers too.
+Counters restart per process — see :mod:`repro.faults.plan`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from .plan import FaultPlan
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "install",
+    "clear",
+    "active_plan",
+    "inject",
+    "trigger",
+    "corrupt_file",
+    "stall_seconds",
+    "torn_append",
+    "export_to_env",
+    "install_from_env",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable carrying a serialized plan across spawn.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_ACTIVE: FaultPlan | None = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate a plan for this process (see :func:`inject` for scoping)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Deactivate any installed plan."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+@contextmanager
+def export_to_env(plan: FaultPlan | None) -> Iterator[None]:
+    """Publish ``plan`` in :data:`FAULT_PLAN_ENV` for child processes.
+
+    A ``None`` plan is a no-op context.  The previous value is restored
+    on exit, so nested schedulers and recovery passes (which must run
+    fault-free) see exactly the transport state they expect.
+    """
+    if plan is None:
+        yield
+        return
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = plan.to_payload()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def install_from_env() -> FaultPlan | None:
+    """Install the plan serialized in :data:`FAULT_PLAN_ENV`, if any.
+
+    Called from worker bootstrap (pool initializers).  A process that
+    already installed a plan keeps it — the environment never overrides
+    an explicit :func:`install`.  A malformed payload is logged and
+    ignored: fault injection must never take down a production worker.
+    """
+    global _ACTIVE
+    payload = os.environ.get(FAULT_PLAN_ENV)
+    if payload is None or _ACTIVE is not None:
+        return _ACTIVE
+    try:
+        _ACTIVE = FaultPlan.from_payload(payload)
+    except (ValueError, KeyError, TypeError) as error:
+        logger.warning("ignoring malformed %s payload: %s", FAULT_PLAN_ENV, error)
+        return None
+    return _ACTIVE
+
+
+def trigger(site: str, token: str = "") -> None:
+    """Fire any scheduled fail / kill / wall-stall fault at this point."""
+    if _ACTIVE is None:
+        return
+    token = str(token)
+    fault = _ACTIVE._consume("kill", site, token)
+    if fault is not None:
+        logger.warning("injected kill at %s:%s (pid %d)", site, token, os.getpid())
+        os.kill(os.getpid(), signal.SIGKILL)
+    for fault in _ACTIVE.faults:
+        # Virtual stalls belong to stall_seconds(); only wall stalls
+        # sleep at the trigger site.
+        if fault.wall and fault.matches("stall", site, token):
+            fault.consume()
+            logger.warning(
+                "injected wall stall of %.2fs at %s:%s", fault.seconds, site, token
+            )
+            time.sleep(fault.seconds)
+            break
+    fault = _ACTIVE._consume("fail", site, token)
+    if fault is not None:
+        raise fault.exception()(f"injected fault at {site}:{token}")
+
+
+def corrupt_file(path: Path | str) -> bool:
+    """Damage ``path`` if the active plan scheduled save corruption."""
+    if _ACTIVE is None:
+        return False
+    fault = _ACTIVE._consume("corrupt", "save", str(path))
+    if fault is None:
+        return False
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if fault.mode == "truncate":
+        damaged = bytes(data[: max(len(data) // 3, 1)])
+    else:
+        middle = len(data) // 2
+        for offset in range(middle, min(middle + 32, len(data))):
+            data[offset] ^= 0xFF
+        damaged = bytes(data)
+    path.write_bytes(damaged)
+    return True
+
+
+def stall_seconds(site: str, token: str = "") -> float:
+    """Virtual seconds an attempt at ``site`` should appear to take."""
+    if _ACTIVE is None:
+        return 0.0
+    for fault in _ACTIVE.faults:
+        if not fault.wall and fault.matches("stall", site, str(token)):
+            fault.consume()
+            return fault.seconds
+    return 0.0
+
+
+def torn_append(token: str = "") -> bool:
+    """Should the next journal append be torn mid-write?
+
+    The journal implements the tearing (half a record, no newline, then
+    raise); this hook only consumes the scheduled fault.
+    """
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE._consume("torn", "journal_append", str(token)) is not None

@@ -44,6 +44,10 @@ RPR014    exception contracts — broad excepts that swallow typed
 RPR015    process-pool safety — spawned workers must be module-level
           picklable functions, re-seed via rng/seed or spawn_stream,
           and not read module-global RNG streams or file handles
+RPR016    unbounded waits — blocking primitives in
+          ``repro.parallel``/``repro.experiments`` (``future.result``,
+          ``Queue.get``, ``lock.acquire``, ``Process.join``) must carry
+          a timeout so a dead counterpart cannot hang the supervisor
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -97,6 +101,7 @@ from . import (
     rules_sparse,
     rules_tape,
     rules_tensor,
+    rules_waits,
 )
 
 __all__ = [
@@ -155,4 +160,5 @@ __all__ = [
     "rules_sparse",
     "rules_tape",
     "rules_tensor",
+    "rules_waits",
 ]

@@ -19,22 +19,41 @@ Model parameters travel through :class:`SharedEmbeddingStore`
 (:mod:`multiprocessing.shared_memory`): workers score against zero-copy
 read-only views instead of per-process pickled copies.
 
+Supervision and hygiene harden those guarantees against misbehaving
+infrastructure: the scheduler watchdog (:mod:`repro.parallel.watchdog`)
+kills cells that overshoot their ``cell_deadline`` or pools that stop
+heartbeating, and every shared-memory segment is tracked by
+:mod:`repro.parallel.registry` so crashes never strand embeddings in
+``/dev/shm`` (atexit/signal reaping plus a startup orphan scan).
+
 Layering: sits above :mod:`repro.kge`, :mod:`repro.resilience` and
 :mod:`repro.obs`; the experiment layers import it lazily at call time
 (``procs > 1``) and worker entry points live in
 :mod:`repro.parallel.workers`.
 """
 
-from .scheduler import Cell, CellOutcome, ParallelScheduler, WorkerCrashError
+from .registry import orphaned_segments, reap_orphans
+from .scheduler import (
+    Cell,
+    CellOutcome,
+    CellTimeoutError,
+    ParallelScheduler,
+    WorkerCrashError,
+)
 from .shared import ArraySpec, ModelHandle, SharedEmbeddingStore, attach_model
+from .watchdog import HeartbeatBoard
 
 __all__ = [
     "Cell",
     "CellOutcome",
     "ParallelScheduler",
     "WorkerCrashError",
+    "CellTimeoutError",
+    "HeartbeatBoard",
     "ArraySpec",
     "ModelHandle",
     "SharedEmbeddingStore",
     "attach_model",
+    "orphaned_segments",
+    "reap_orphans",
 ]

@@ -1,0 +1,169 @@
+"""Process-wide registry of shared-memory segments with crash reaping.
+
+Every segment the fabric creates (model publications, heartbeat boards)
+is allocated a parseable name — ``repro-shm-<pid>-<counter>`` — and
+recorded here.  Registration buys two guarantees:
+
+* **No leaks on abnormal exit.**  ``atexit`` plus chained SIGTERM/SIGINT
+  handlers unlink every still-registered segment, so an interrupted
+  campaign does not strand multi-hundred-megabyte embedding tables in
+  ``/dev/shm``.  (SIGKILL cannot be caught — that case is covered by
+  the orphan scan below.)
+* **Orphan detection on startup.**  Because the owner's pid is embedded
+  in the name, :func:`orphaned_segments` can scan the shared-memory
+  directory for fabric segments whose owner is dead and
+  :func:`reap_orphans` can reclaim them — ``repro chaos`` asserts this
+  scan comes back empty after every recovery.
+
+Only the *owning* process registers a segment; workers attach by name
+and never unlink (see :mod:`repro.parallel.shared` ownership rules).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import logging
+import os
+import signal
+from multiprocessing import shared_memory
+from pathlib import Path
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "allocate_name",
+    "owner_pid",
+    "register_segment",
+    "unregister_segment",
+    "registered_segments",
+    "reap_registered",
+    "orphaned_segments",
+    "reap_orphans",
+]
+
+logger = logging.getLogger(__name__)
+
+#: All fabric segments carry this prefix; the owner pid follows.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory appears as files (Linux).  Platforms
+#: without it simply report no orphans.
+SHM_DIR = Path("/dev/shm")
+
+_counter = itertools.count()
+_LIVE: dict[str, shared_memory.SharedMemory] = {}
+_handlers_installed = False
+
+
+def allocate_name() -> str:
+    """A fresh fabric segment name embedding this process's pid."""
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_counter)}"
+
+
+def owner_pid(name: str) -> int | None:
+    """The pid embedded in a fabric segment name, or ``None``."""
+    if not name.startswith(SEGMENT_PREFIX):
+        return None
+    pid_part = name[len(SEGMENT_PREFIX) :].partition("-")[0]
+    return int(pid_part) if pid_part.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def register_segment(shm: shared_memory.SharedMemory) -> None:
+    """Track ``shm`` for reaping; installs exit handlers on first use."""
+    _LIVE[shm.name] = shm
+    _install_handlers()
+
+
+def unregister_segment(name: str) -> None:
+    """Stop tracking ``name`` (its owner closed it deliberately)."""
+    _LIVE.pop(name, None)
+
+
+def registered_segments() -> list[str]:
+    return sorted(_LIVE)
+
+
+def reap_registered() -> list[str]:
+    """Close and unlink every still-registered segment; returns names.
+
+    Tolerant by construction: a segment already unlinked (double reap,
+    racing handlers) is skipped silently.
+    """
+    reaped = []
+    for name, shm in list(_LIVE.items()):
+        _LIVE.pop(name, None)
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        else:
+            reaped.append(name)
+    return reaped
+
+
+def orphaned_segments(shm_dir: Path | str = SHM_DIR) -> list[str]:
+    """Fabric segments in ``shm_dir`` whose owning process is dead."""
+    shm_dir = Path(shm_dir)
+    if not shm_dir.is_dir():
+        return []
+    orphans = []
+    for entry in sorted(shm_dir.iterdir()):
+        pid = owner_pid(entry.name)
+        if pid is not None and not _pid_alive(pid):
+            orphans.append(entry.name)
+    return orphans
+
+
+def reap_orphans(shm_dir: Path | str = SHM_DIR) -> list[str]:
+    """Unlink every orphaned fabric segment; returns the names reclaimed."""
+    reclaimed = []
+    for name in orphaned_segments(shm_dir):
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            continue  # lost a race with another reaper
+        logger.warning("reaped orphaned shared-memory segment %s", name)
+        reclaimed.append(name)
+    return reclaimed
+
+
+def _signal_reaper(signum: int, frame: object) -> None:
+    reap_registered()
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_handlers() -> None:
+    """Hook atexit plus SIGTERM/SIGINT, once, without displacing custom handlers.
+
+    Only default handlers are replaced — an application that installed
+    its own (a test harness, a serving framework) keeps it, and loses
+    signal-path reaping but not the atexit path.
+    """
+    global _handlers_installed
+    if _handlers_installed:
+        return
+    _handlers_installed = True
+    atexit.register(reap_registered)
+    for signum, default in (
+        (signal.SIGTERM, signal.SIG_DFL),
+        (signal.SIGINT, signal.default_int_handler),
+    ):
+        try:
+            if signal.getsignal(signum) is default:
+                signal.signal(signum, _signal_reaper)
+        except (ValueError, OSError):  # non-main thread or exotic platform
+            pass

@@ -19,6 +19,33 @@ keeping the exact semantics of the serial resilience stack:
   ``on_error="degrade"`` does serially: the failure fingerprint is
   journalled and surfaced in the outcome instead of aborting the run.
 
+Supervision (the watchdog) sits on top of that contract.  Two opt-in
+timers guard the pool:
+
+* ``cell_deadline`` — a per-cell wall-clock budget measured from
+  dispatch.  An overdue cell gets the pool killed and rebuilt, a
+  ``cell_timeout`` journal event, and a
+  :class:`~repro.parallel.watchdog.CellTimeoutError` charged against
+  its attempt budget (timeouts are crashes mechanically, so the
+  existing retry-within-budget policy applies unchanged).
+* ``heartbeat_timeout`` — pool-wide liveness through a
+  :class:`~repro.parallel.watchdog.HeartbeatBoard`.  Workers beat
+  around each cell; if nothing beats and nothing completes for this
+  long while work is in flight, the pool is declared stalled and every
+  in-flight cell is timed out.  Set it comfortably above the longest
+  legitimate cell: beats happen at cell boundaries, so a slow cell
+  produces no beats while it runs (completions also count as liveness).
+
+Because the watchdog can only kill the whole pool, cells that were
+merely sharing it with an overdue neighbour are charged a
+:class:`WorkerCrashError` like any pool crash — the ``2 × procs``
+submission window bounds that collateral.
+
+Fault plans active in the parent (:mod:`repro.faults`) are exported
+through the spawn boundary for the lifetime of the pool, so worker-side
+sites (``worker_dispatch``, ``shared_attach``, ``heartbeat_emit``) fire
+under the same schedule the chaos driver armed.
+
 Worker functions must be module-level picklable callables (lint rule
 RPR015 enforces this for in-repo call sites) with the signature
 ``worker(context, payload, rng)``; ``context`` is the scheduler's
@@ -29,6 +56,7 @@ initializer rather than once per cell.
 from __future__ import annotations
 
 import logging
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -36,16 +64,18 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Callable
 
+from .. import faults
 from ..obs import MetricsRegistry, flatten_spans, get_registry, span, use_registry
-from ..resilience import ResilienceError, RunJournal, error_fingerprint, spawn_stream
+from ..resilience import RunJournal, error_fingerprint, spawn_stream
+from .watchdog import CellTimeoutError, HeartbeatBoard, WorkerCrashError
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["Cell", "CellOutcome", "WorkerCrashError", "ParallelScheduler"]
+__all__ = ["Cell", "CellOutcome", "WorkerCrashError", "CellTimeoutError", "ParallelScheduler"]
 
-
-class WorkerCrashError(ResilienceError):
-    """A worker process died (segfault, OOM-kill, os._exit) mid-cell."""
+#: Floor for watchdog poll intervals, so a tight deadline cannot turn
+#: the dispatch loop into a busy-wait.
+_MIN_POLL = 0.05
 
 
 @dataclass(frozen=True)
@@ -73,17 +103,27 @@ class CellOutcome:
     trace: dict = field(default_factory=dict)
 
 
-def _pool_initializer(context: object) -> None:
-    """Spawn-side bootstrap: stash the shared context for this process."""
-    global _WORKER_CONTEXT
+def _pool_initializer(context: object, board_name: str | None = None) -> None:
+    """Spawn-side bootstrap: context, fault plan, and heartbeat board."""
+    global _WORKER_CONTEXT, _WORKER_BOARD
     _WORKER_CONTEXT = context
+    faults.install_from_env()
+    if board_name is not None:
+        try:
+            _WORKER_BOARD = HeartbeatBoard.attach(board_name)
+        except FileNotFoundError:
+            # The parent (and its board) died between spawn and attach;
+            # the work itself can still proceed without liveness beats.
+            _WORKER_BOARD = None
 
 
 _WORKER_CONTEXT: object = None
+_WORKER_BOARD: HeartbeatBoard | None = None
 
 
 def _run_cell(
     worker: Callable,
+    key: str,
     index: int,
     attempt: int,
     seed: int,
@@ -93,18 +133,25 @@ def _run_cell(
     """Module-level dispatch wrapper executed inside a worker process.
 
     Re-seeds deterministically per (cell index, attempt) via
-    :func:`spawn_stream` and, when the parent has observability enabled,
-    records the worker-side span subtree so the parent can attach it to
-    the outcome.
+    :func:`spawn_stream`, beats the heartbeat board around the cell,
+    and, when the parent has observability enabled, records the
+    worker-side span subtree so the parent can attach it to the outcome.
     """
+    faults.trigger("worker_dispatch", key)
+    if _WORKER_BOARD is not None:
+        _WORKER_BOARD.beat()
     rng = spawn_stream(seed, index, attempt)
-    if not capture_trace:
-        return worker(_WORKER_CONTEXT, payload, rng), {}
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        with span("parallel.cell"):
-            value = worker(_WORKER_CONTEXT, payload, rng)
-    return value, flatten_spans(registry.snapshot()["spans"])
+    try:
+        if not capture_trace:
+            return worker(_WORKER_CONTEXT, payload, rng), {}
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with span("parallel.cell"):
+                value = worker(_WORKER_CONTEXT, payload, rng)
+        return value, flatten_spans(registry.snapshot()["spans"])
+    finally:
+        if _WORKER_BOARD is not None:
+            _WORKER_BOARD.beat()
 
 
 class ParallelScheduler:
@@ -124,7 +171,8 @@ class ParallelScheduler:
         streams handed to workers.
     journal:
         Optional :class:`RunJournal`; events mirror the serial runner
-        (``cell_started`` / ``cell_succeeded`` / ``cell_failed``).
+        (``cell_started`` / ``cell_succeeded`` / ``cell_failed`` /
+        ``cell_timeout``).
     on_error:
         ``"raise"`` aborts on the first cell failure (journal preserves
         progress), ``"degrade"`` retries up to ``max_attempts`` starts
@@ -133,6 +181,16 @@ class ParallelScheduler:
         budget in both modes — serially a crash takes the whole campaign
         down and the journal resumes it, so retrying is the parallel
         equivalent; ``"raise"`` still propagates once the budget is gone.
+        Watchdog timeouts are crashes under this policy.
+    cell_deadline:
+        Optional per-cell wall-clock budget in seconds, measured from
+        dispatch; overdue cells are killed (see module docstring).  The
+        clock starts at submission, so the budget also covers worker
+        spawn and import time (~1-2s for a fresh pool) — set it well
+        above that floor.
+    heartbeat_timeout:
+        Optional pool-liveness window in seconds; see module docstring
+        for how to size it.
     """
 
     def __init__(
@@ -144,11 +202,19 @@ class ParallelScheduler:
         journal: RunJournal | None = None,
         max_attempts: int = 3,
         on_error: str = "raise",
+        cell_deadline: float | None = None,
+        heartbeat_timeout: float | None = None,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
         if on_error not in ("raise", "degrade"):
             raise ValueError(f"on_error must be 'raise' or 'degrade', got {on_error!r}")
+        if cell_deadline is not None and cell_deadline <= 0:
+            raise ValueError(f"cell_deadline must be positive, got {cell_deadline}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
         self.worker = worker
         self.procs = procs
         self.context = context
@@ -156,14 +222,42 @@ class ParallelScheduler:
         self.journal = journal
         self.max_attempts = max_attempts
         self.on_error = on_error
+        self.cell_deadline = cell_deadline
+        self.heartbeat_timeout = heartbeat_timeout
 
-    def _new_executor(self) -> ProcessPoolExecutor:
+    def _new_executor(self, board_name: str | None) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=self.procs,
             mp_context=get_context("spawn"),
             initializer=_pool_initializer,
-            initargs=(self.context,),
+            initargs=(self.context, board_name),
         )
+
+    def _poll_timeout(self, in_flight: dict, now: float) -> float | None:
+        """How long ``wait`` may block before the watchdog must look again."""
+        timeout: float | None = None
+        if self.cell_deadline is not None and in_flight:
+            earliest = min(started for (_, _, _, started) in in_flight.values())
+            timeout = earliest + self.cell_deadline - now
+        if self.heartbeat_timeout is not None:
+            probe = self.heartbeat_timeout / 4.0
+            timeout = probe if timeout is None else min(timeout, probe)
+        if timeout is None:
+            return None
+        return max(timeout, _MIN_POLL)
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """SIGKILL every pool worker, then discard the executor.
+
+        ``ProcessPoolExecutor`` exposes no supported way to terminate a
+        running task; killing the worker processes directly is the only
+        lever, and ``_processes`` has been its stable home across every
+        supported CPython.
+        """
+        for process in list(executor._processes.values()):
+            process.kill()
+        executor.shutdown(wait=False, cancel_futures=True)
 
     def run(
         self,
@@ -182,9 +276,13 @@ class ParallelScheduler:
         last_error: dict[str, str] = {}
         pending: deque[tuple[int, Cell]] = deque(enumerate(cells))
         window = 2 * self.procs
-        with span("parallel.dispatch"):
-            executor = self._new_executor()
-            in_flight: dict[Future, tuple[int, Cell, int]] = {}
+        board = HeartbeatBoard.create() if self.heartbeat_timeout is not None else None
+        board_name = board.name if board is not None else None
+        last_liveness = time.monotonic()
+        last_beat = board.snapshot() if board is not None else b""
+        with span("parallel.dispatch"), faults.export_to_env(faults.active_plan()):
+            executor = self._new_executor(board_name)
+            in_flight: dict[Future, tuple[int, Cell, int, float]] = {}
             try:
                 while pending or in_flight:
                     while pending and len(in_flight) < window:
@@ -198,22 +296,49 @@ class ParallelScheduler:
                             self.journal.append(
                                 "cell_started", cell=cell.key, attempt=attempt
                             )
-                        future = executor.submit(
-                            _run_cell,
-                            self.worker,
-                            index,
-                            attempt,
-                            self.seed,
-                            cell.payload,
-                            registry.enabled,
-                        )
-                        in_flight[future] = (index, cell, attempt)
-                    done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                        try:
+                            future = executor.submit(
+                                _run_cell,
+                                self.worker,
+                                cell.key,
+                                index,
+                                attempt,
+                                self.seed,
+                                cell.payload,
+                                registry.enabled,
+                            )
+                        except BrokenProcessPool:
+                            # A worker died between dispatches and poisoned
+                            # the pool before ``wait`` could notice.  The
+                            # attempt is already journalled, so charge it
+                            # like any crash, drain the casualties, and
+                            # keep dispatching on a fresh pool.
+                            self._cell_failed(
+                                outcomes, pending, attempts, last_error,
+                                index, cell, attempt,
+                                WorkerCrashError(
+                                    f"worker pool broke before {cell.key} "
+                                    f"was dispatched"
+                                ),
+                                registry,
+                            )
+                            executor = self._drain_crashed_pool(
+                                executor, board_name, in_flight,
+                                outcomes, pending, attempts, last_error,
+                                registry,
+                            )
+                            continue
+                        in_flight[future] = (index, cell, attempt, time.monotonic())
+                    done, _ = wait(
+                        in_flight,
+                        timeout=self._poll_timeout(in_flight, time.monotonic()),
+                        return_when=FIRST_COMPLETED,
+                    )
                     crashed = False
                     for future in done:
-                        index, cell, attempt = in_flight.pop(future)
+                        index, cell, attempt, _started = in_flight.pop(future)
                         try:
-                            value, trace = future.result()
+                            value, trace = future.result(timeout=0)
                         except BrokenProcessPool:
                             crashed = True
                             self._cell_failed(
@@ -243,25 +368,120 @@ class ParallelScheduler:
                                 trace=trace,
                             )
                     if crashed:
-                        # The pool is unusable: every still-running future
-                        # fails with BrokenProcessPool.  Drain them as
-                        # crashes, then rebuild the pool and continue.
-                        registry.counter("parallel.worker_crashes_count").inc()
-                        for future, (index, cell, attempt) in list(in_flight.items()):
-                            self._cell_failed(
-                                outcomes, pending, attempts, last_error,
-                                index, cell, attempt,
-                                WorkerCrashError(
-                                    f"worker pool broke while {cell.key} was in flight"
-                                ),
-                                registry,
-                            )
-                        in_flight.clear()
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = self._new_executor()
+                        executor = self._drain_crashed_pool(
+                            executor, board_name, in_flight,
+                            outcomes, pending, attempts, last_error, registry,
+                        )
+                        continue
+                    now = time.monotonic()
+                    if done:
+                        last_liveness = now
+                    elif board is not None:
+                        beat = board.snapshot()
+                        if beat != last_beat:
+                            last_beat = beat
+                            last_liveness = now
+                    executor = self._supervise(
+                        executor, board_name, in_flight, now, last_liveness,
+                        outcomes, pending, attempts, last_error, registry,
+                    )
+                    if not in_flight:
+                        last_liveness = now
             finally:
                 executor.shutdown(wait=False, cancel_futures=True)
+                if board is not None:
+                    board.close()
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _drain_crashed_pool(
+        self,
+        executor: ProcessPoolExecutor,
+        board_name: str | None,
+        in_flight: dict,
+        outcomes: list,
+        pending: deque,
+        attempts: dict[str, int],
+        last_error: dict[str, str],
+        registry,
+    ) -> ProcessPoolExecutor:
+        """Replace a broken pool, charging every in-flight cell as a crash.
+
+        Once a worker dies the executor is unusable: every still-running
+        future fails with :class:`BrokenProcessPool`, whether its worker
+        was the casualty or not.
+        """
+        registry.counter("parallel.worker_crashes_count").inc()
+        for future, (index, cell, attempt, _started) in list(in_flight.items()):
+            self._cell_failed(
+                outcomes, pending, attempts, last_error,
+                index, cell, attempt,
+                WorkerCrashError(
+                    f"worker pool broke while {cell.key} was in flight"
+                ),
+                registry,
+            )
+        in_flight.clear()
+        executor.shutdown(wait=False, cancel_futures=True)
+        return self._new_executor(board_name)
+
+    def _supervise(
+        self,
+        executor: ProcessPoolExecutor,
+        board_name: str | None,
+        in_flight: dict,
+        now: float,
+        last_liveness: float,
+        outcomes: list,
+        pending: deque,
+        attempts: dict[str, int],
+        last_error: dict[str, str],
+        registry,
+    ) -> ProcessPoolExecutor:
+        """Kill and rebuild the pool if a deadline or liveness check fails.
+
+        Returns the (possibly fresh) executor.  Overdue cells are
+        charged a :class:`CellTimeoutError` (journalled as
+        ``cell_timeout``); innocent cells sharing a killed pool are
+        charged a :class:`WorkerCrashError` like any other pool crash.
+        """
+        if not in_flight:
+            return executor
+        overdue: set[Future] = set()
+        if self.cell_deadline is not None:
+            overdue = {
+                future
+                for future, (_, _, _, started) in in_flight.items()
+                if now - started > self.cell_deadline
+            }
+        stalled = (
+            self.heartbeat_timeout is not None
+            and now - last_liveness > self.heartbeat_timeout
+        )
+        if not overdue and not stalled:
+            return executor
+        registry.counter("parallel.watchdog_kills_count").inc()
+        self._kill_pool(executor)
+        for future, (index, cell, attempt, started) in list(in_flight.items()):
+            if future in overdue:
+                error: Exception = CellTimeoutError(
+                    f"cell {cell.key} exceeded its {self.cell_deadline:.1f}s "
+                    f"deadline ({now - started:.1f}s since dispatch)"
+                )
+            elif stalled:
+                error = CellTimeoutError(
+                    f"pool stalled (no heartbeat or completion for "
+                    f"{self.heartbeat_timeout:.1f}s) while {cell.key} was in flight"
+                )
+            else:
+                error = WorkerCrashError(
+                    f"pool killed by watchdog while {cell.key} was in flight"
+                )
+            self._cell_failed(
+                outcomes, pending, attempts, last_error,
+                index, cell, attempt, error, registry,
+            )
+        in_flight.clear()
+        return self._new_executor(board_name)
 
     def _cell_failed(
         self,
@@ -280,9 +500,10 @@ class ParallelScheduler:
         last_error[cell.key] = fingerprint
         registry.counter("parallel.cell_failures_count").inc()
         if self.journal is not None:
+            event = "cell_timeout" if isinstance(error, CellTimeoutError) else "cell_failed"
             # lint: disable=RPR011 (dispatch thread only)
             self.journal.append(
-                "cell_failed", cell=cell.key, attempt=attempt, error=fingerprint
+                event, cell=cell.key, attempt=attempt, error=fingerprint
             )
         if self.on_error == "raise" and not isinstance(error, WorkerCrashError):
             raise error

@@ -31,7 +31,10 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from .. import faults
 from ..kge.base import KGEModel, create_model
+from ..resilience import SegmentLostError
+from . import registry
 
 __all__ = ["ArraySpec", "ModelHandle", "SharedEmbeddingStore", "attach_model"]
 
@@ -108,7 +111,12 @@ class SharedEmbeddingStore:
                 )
             )
             offset += array.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        # Registry-allocated names embed the owner pid, which is what
+        # makes crashed-run segments findable by the orphan scan.
+        shm = shared_memory.SharedMemory(
+            create=True, name=registry.allocate_name(), size=max(offset, 1)
+        )
+        registry.register_segment(shm)
         try:
             for spec in specs:
                 view = np.ndarray(
@@ -121,6 +129,7 @@ class SharedEmbeddingStore:
         except BaseException:
             shm.close()
             shm.unlink()
+            registry.unregister_segment(shm.name)
             raise
         handle = ModelHandle(
             segment=shm.name,
@@ -142,15 +151,23 @@ class SharedEmbeddingStore:
     def close(self, unlink: bool = True) -> None:
         """Release the owner's mapping; ``unlink`` destroys the segment.
 
-        Idempotent.  Attached workers keep their existing mappings alive
-        (POSIX semantics), but no new process can attach after unlink.
+        Idempotent, including against the segment already being gone —
+        after a crash the atexit/signal reaper (or an orphan sweep from
+        a later run) may have unlinked it first, and double-close must
+        not turn cleanup into a new failure.  Attached workers keep
+        their existing mappings alive (POSIX semantics), but no new
+        process can attach after unlink.
         """
         if self._closed:
             return
         self._closed = True
         self._shm.close()
         if unlink:
-            self._shm.unlink()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            registry.unregister_segment(self._shm.name)
 
     def __enter__(self) -> "SharedEmbeddingStore":
         return self
@@ -166,8 +183,19 @@ def attach_model(handle: ModelHandle) -> tuple[KGEModel, shared_memory.SharedMem
     Returns the evaluation-mode model plus the segment mapping, which the
     caller must keep referenced for as long as the model is used (the
     parameter arrays alias its buffer) and ``close()`` when done.
+    Raises :class:`~repro.resilience.SegmentLostError` when the segment
+    no longer exists (publisher crashed and was reaped, or unlinked
+    early) so callers can distinguish a lost publication from an
+    ordinary missing file.
     """
-    shm = shared_memory.SharedMemory(name=handle.segment)
+    faults.trigger("shared_attach", handle.segment)
+    try:
+        shm = shared_memory.SharedMemory(name=handle.segment)
+    except FileNotFoundError as error:
+        raise SegmentLostError(
+            f"shared-memory segment {handle.segment!r} is gone; the "
+            f"publishing process has exited or unlinked it"
+        ) from error
     # CPython registers *attachments* with the resource tracker as if
     # they were owned.  Spawned children share the publisher's tracker
     # process, whose per-type cache is a set — the duplicate REGISTER is

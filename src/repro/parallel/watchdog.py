@@ -1,0 +1,113 @@
+"""Watchdog primitives: crash/timeout errors and the worker heartbeat board.
+
+The scheduler's supervision loop (:mod:`repro.parallel.scheduler`) has
+to distinguish three ways a cell can fail to return:
+
+* the worker **died** (``BrokenProcessPool``) → :class:`WorkerCrashError`;
+* the cell **overshot its wall-clock deadline** → the watchdog kills the
+  pool and records :class:`CellTimeoutError`;
+* the whole pool went **quiet** (a worker wedged in a syscall, a
+  deadlocked import) → heartbeat staleness, same kill path.
+
+:class:`CellTimeoutError` deliberately subclasses
+:class:`WorkerCrashError`: a timed-out cell is *mechanically* a killed
+worker, so the scheduler's existing crash policy (retry within the
+attempt budget in both ``on_error`` modes, degrade or raise once the
+budget is spent) applies unchanged.
+
+The :class:`HeartbeatBoard` is a tiny shared-memory array of per-slot
+beat counters.  Workers bump their slot (``pid % slots``) around every
+cell; the parent snapshots the board and treats "no slot moved while
+work was in flight" as a stall.  Slot collisions between workers are
+harmless — the board answers "is anyone alive", not "who".
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .. import faults
+from ..resilience import ResilienceError
+from . import registry
+
+__all__ = ["WorkerCrashError", "CellTimeoutError", "HeartbeatBoard"]
+
+
+class WorkerCrashError(ResilienceError):
+    """A worker process died (segfault, OOM-kill, os._exit) mid-cell."""
+
+
+class CellTimeoutError(WorkerCrashError):
+    """The watchdog killed a cell that overshot its deadline or stalled."""
+
+
+class HeartbeatBoard:
+    """A shared array of beat counters for pool-liveness detection."""
+
+    SLOTS = 64
+    _DTYPE = np.uint64
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._slots = np.ndarray((self.SLOTS,), dtype=self._DTYPE, buffer=shm.buf)
+
+    @classmethod
+    def create(cls) -> "HeartbeatBoard":
+        """Parent side: allocate, zero, and register a fresh board."""
+        size = cls.SLOTS * np.dtype(cls._DTYPE).itemsize
+        shm = shared_memory.SharedMemory(
+            create=True, name=registry.allocate_name(), size=size
+        )
+        registry.register_segment(shm)
+        board = cls(shm, owner=True)
+        board._slots[:] = 0
+        return board
+
+    @classmethod
+    def attach(cls, name: str) -> "HeartbeatBoard":
+        """Worker side: map an existing board by segment name."""
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def beat(self) -> None:
+        """Bump this process's slot (not atomic; single writer per slot)."""
+        slot = os.getpid() % self.SLOTS
+        faults.trigger("heartbeat_emit", str(slot))
+        self._slots[slot] += 1
+
+    def snapshot(self) -> bytes:
+        """The board state as comparable bytes (changed ⇒ someone beat)."""
+        return self._slots.tobytes()
+
+    def close(self) -> None:
+        """Release the mapping; the owner also destroys the segment.
+
+        Idempotent, and tolerant of the segment already being gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Views alias shm.buf; drop them before closing or mmap refuses.
+        self._slots = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            registry.unregister_segment(self._shm.name)
+
+    def __enter__(self) -> "HeartbeatBoard":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

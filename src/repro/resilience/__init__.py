@@ -17,19 +17,26 @@ restarting from zero:
   make :func:`repro.experiments.run_matrix` resumable;
 * :mod:`~repro.resilience.rng` — seed-sequence spawning so retried work
   is deterministic without replaying the identical failing draw;
-* :mod:`~repro.resilience.faults` — the test-only fault-injection
-  harness that proves every recovery path in tier-1 tests.
+* :mod:`~repro.resilience.deadline` — the unified wall-clock
+  :class:`Deadline` threaded from CLI flags down to retry loops and the
+  scheduler watchdog;
+* :mod:`~repro.resilience.faults` — compatibility shim for the
+  fault-injection harness, promoted to first-class :mod:`repro.faults`.
 
 Layering: this package sits below :mod:`repro.kge` and
-:mod:`repro.experiments` and must never import from them.
+:mod:`repro.experiments` (and above only :mod:`repro.faults`) and must
+never import from them.
 """
 
 from .atomic import atomic_savez, atomic_write, atomic_write_bytes, digest_arrays
+from .deadline import Deadline
 from .errors import (
     CheckpointCorruptError,
+    DeadlineExceededError,
     FaultInjectedError,
     ResilienceError,
     RetryBudgetExceededError,
+    SegmentLostError,
     TrainingDivergedError,
 )
 from .faults import FaultPlan, inject
@@ -43,7 +50,10 @@ __all__ = [
     "CheckpointCorruptError",
     "TrainingDivergedError",
     "RetryBudgetExceededError",
+    "DeadlineExceededError",
+    "SegmentLostError",
     "FaultInjectedError",
+    "Deadline",
     "atomic_write",
     "atomic_write_bytes",
     "atomic_savez",

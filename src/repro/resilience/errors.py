@@ -12,6 +12,8 @@ __all__ = [
     "CheckpointCorruptError",
     "TrainingDivergedError",
     "RetryBudgetExceededError",
+    "DeadlineExceededError",
+    "SegmentLostError",
     "FaultInjectedError",
 ]
 
@@ -54,5 +56,28 @@ class RetryBudgetExceededError(ResilienceError, RuntimeError):
         self.elapsed = elapsed
 
 
+class DeadlineExceededError(ResilienceError, TimeoutError):
+    """A :class:`~repro.resilience.deadline.Deadline` expired.
+
+    Subclasses :class:`TimeoutError` so generic timeout handlers apply.
+    ``budget`` is the original allowance in seconds, ``overdue`` how far
+    past it the check ran.
+    """
+
+    def __init__(self, message: str, budget: float = 0.0, overdue: float = 0.0) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.overdue = overdue
+
+
+class SegmentLostError(ResilienceError, FileNotFoundError):
+    """A shared-memory segment vanished before a worker could attach.
+
+    Subclasses :class:`FileNotFoundError` because that is what
+    ``SharedMemory(name=...)`` raises and what pre-existing recovery
+    code catches; the typed subclass lets new code be precise.
+    """
+
+
 class FaultInjectedError(ResilienceError, RuntimeError):
-    """Raised by the test-only fault-injection harness (:mod:`repro.resilience.faults`)."""
+    """Raised by the fault-injection harness (:mod:`repro.faults`)."""

@@ -1,39 +1,35 @@
-"""Test-only fault injection: scripted failures at instrumented points.
+"""Compatibility shim: fault injection moved to :mod:`repro.faults`.
 
-Production code calls the module-level hooks (:func:`trigger`,
-:func:`corrupt_file`, :func:`stall_seconds`) at well-known *sites*; with
-no plan installed every hook is a near-free early return.  Tests install
-a :class:`FaultPlan` (usually via the :func:`inject` context manager) to
-prove each recovery path:
-
-* ``plan.fail("train_epoch", match="3")`` — raise when training reaches
-  epoch 3 (a crashed training job);
-* ``plan.fail("matrix_cell", match="*distmult*")`` — kill a campaign
-  mid-cell;
-* ``plan.corrupt(match="*.npz")`` — flip bytes in a checkpoint right
-  after a save completes (a torn write the checksum must catch);
-* ``plan.stall("get_trained_model", 900.0)`` — make an attempt appear to
-  overshoot its deadline inside :func:`~repro.resilience.retry.with_retries`
-  without actually sleeping.
-
-Instrumented sites: ``train_epoch`` (token = epoch index),
-``matrix_cell`` (token = ``dataset/model/strategy``), any
-``with_retries`` label (token = attempt index), and every path published
-through :func:`~repro.resilience.atomic.atomic_write`.
+The harness started life here as a test-only helper; once the parallel
+fabric needed fault sites of its own (worker dispatch, shared-memory
+attach, journal append) it was promoted to a first-class subsystem at
+the bottom of the layering.  Existing imports —
+``from repro.resilience import faults`` and
+``from repro.resilience.faults import FaultPlan, inject`` — keep
+working through this module; new code should import
+:mod:`repro.faults` directly.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from fnmatch import fnmatch
-from pathlib import Path
-from typing import Iterator
-
-from .errors import FaultInjectedError
+from ..faults import (  # noqa: F401
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    active_plan,
+    clear,
+    corrupt_file,
+    export_to_env,
+    inject,
+    install,
+    install_from_env,
+    stall_seconds,
+    torn_append,
+    trigger,
+)
 
 __all__ = [
     "FaultPlan",
+    "FAULT_PLAN_ENV",
     "install",
     "clear",
     "active_plan",
@@ -41,144 +37,7 @@ __all__ = [
     "trigger",
     "corrupt_file",
     "stall_seconds",
+    "torn_append",
+    "export_to_env",
+    "install_from_env",
 ]
-
-
-@dataclass
-class _Fault:
-    kind: str  # "fail" | "corrupt" | "stall"
-    site: str
-    pattern: str
-    times: int  # remaining firings; < 0 means unlimited
-    exc: type[Exception] = FaultInjectedError
-    seconds: float = 0.0
-    mode: str = "flip"  # corrupt mode: "flip" | "truncate"
-    fired: int = 0
-
-    def matches(self, kind: str, site: str, token: str) -> bool:
-        return (
-            self.kind == kind
-            and self.times != 0
-            and fnmatch(site, self.site)
-            and fnmatch(token, self.pattern)
-        )
-
-    def consume(self) -> None:
-        self.fired += 1
-        if self.times > 0:
-            self.times -= 1
-
-
-@dataclass
-class FaultPlan:
-    """A scripted set of faults; builder methods chain."""
-
-    faults: list[_Fault] = field(default_factory=list)
-
-    def fail(
-        self,
-        site: str,
-        match: str = "*",
-        times: int = 1,
-        exc: type[Exception] = FaultInjectedError,
-    ) -> "FaultPlan":
-        """Raise ``exc`` the next ``times`` times ``site``/``match`` triggers."""
-        self.faults.append(_Fault("fail", site, match, times, exc=exc))
-        return self
-
-    def corrupt(
-        self, match: str = "*", times: int = 1, mode: str = "flip"
-    ) -> "FaultPlan":
-        """Damage files matching ``match`` right after an atomic publish.
-
-        ``mode="flip"`` inverts a byte run mid-file (checksum-level
-        corruption); ``mode="truncate"`` chops the tail (zip-level).
-        """
-        if mode not in ("flip", "truncate"):
-            raise ValueError(f"corrupt mode must be flip/truncate, got {mode!r}")
-        self.faults.append(_Fault("corrupt", "save", match, times, mode=mode))
-        return self
-
-    def stall(
-        self, site: str, seconds: float, match: str = "*", times: int = 1
-    ) -> "FaultPlan":
-        """Report ``seconds`` of virtual stall at a retry site."""
-        self.faults.append(_Fault("stall", site, match, times, seconds=seconds))
-        return self
-
-    def fired(self) -> int:
-        """Total fault firings so far (did the plan actually trigger?)."""
-        return sum(fault.fired for fault in self.faults)
-
-    def _consume(self, kind: str, site: str, token: str) -> _Fault | None:
-        for fault in self.faults:
-            if fault.matches(kind, site, token):
-                fault.consume()
-                return fault
-        return None
-
-
-_ACTIVE: FaultPlan | None = None
-
-
-def install(plan: FaultPlan) -> None:
-    """Activate a plan globally (tests only; see :func:`inject`)."""
-    global _ACTIVE
-    _ACTIVE = plan
-
-
-def clear() -> None:
-    """Deactivate any installed plan."""
-    global _ACTIVE
-    _ACTIVE = None
-
-
-def active_plan() -> FaultPlan | None:
-    return _ACTIVE
-
-
-@contextmanager
-def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
-    """Install ``plan`` for the duration of a ``with`` block."""
-    install(plan)
-    try:
-        yield plan
-    finally:
-        clear()
-
-
-def trigger(site: str, token: str = "") -> None:
-    """Raise if the active plan scheduled a failure at this point."""
-    if _ACTIVE is None:
-        return
-    fault = _ACTIVE._consume("fail", site, str(token))
-    if fault is not None:
-        raise fault.exc(f"injected fault at {site}:{token}")
-
-
-def corrupt_file(path: Path | str) -> bool:
-    """Damage ``path`` if the active plan scheduled save corruption."""
-    if _ACTIVE is None:
-        return False
-    fault = _ACTIVE._consume("corrupt", "save", str(path))
-    if fault is None:
-        return False
-    path = Path(path)
-    data = bytearray(path.read_bytes())
-    if fault.mode == "truncate":
-        damaged = bytes(data[: max(len(data) // 3, 1)])
-    else:
-        middle = len(data) // 2
-        for offset in range(middle, min(middle + 32, len(data))):
-            data[offset] ^= 0xFF
-        damaged = bytes(data)
-    path.write_bytes(damaged)
-    return True
-
-
-def stall_seconds(site: str, token: str = "") -> float:
-    """Virtual seconds an attempt at ``site`` should appear to take."""
-    if _ACTIVE is None:
-        return 0.0
-    fault = _ACTIVE._consume("stall", site, str(token))
-    return fault.seconds if fault is not None else 0.0

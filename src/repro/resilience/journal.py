@@ -6,20 +6,48 @@ Readers tolerate exactly that: a torn trailing line (or any undecodable
 line) is counted in :attr:`JournalView.corrupt_lines` and skipped
 instead of poisoning the whole campaign state.
 
+Format v2 wraps every record in a checksummed envelope::
+
+    {"crc": "9f3a01c2", "record": {"event": "cell_started", ...}}
+
+where ``crc`` is the CRC32 of the canonical JSON encoding of
+``record``.  The first line of a fresh journal is a header record
+(``{"event": "journal_header", "version": 2}``) in the same envelope.
+The checksum distinguishes *torn* lines (a crash mid-append) from
+*silently damaged* ones (a flipped byte that still parses as JSON) —
+v1 could only detect the former.  v1 journals (bare record objects)
+remain fully readable, and a single file may legally contain both
+shapes after an upgrade-in-place append.
+
+Writers additionally heal the crash case: :meth:`RunJournal.append`
+quarantines a torn trailing line into ``<journal>.quarantine`` before
+writing, so the file it extends is always well-formed.
+:meth:`RunJournal.read` never mutates the file — inspection tools
+(``repro journal``) stay side-effect free.
+
 The journal is deliberately generic — records carry an ``event`` name
 plus arbitrary JSON fields — and :mod:`repro.experiments.runner` layers
 the campaign semantics (``cell_started`` / ``cell_succeeded`` /
-``cell_failed``) on top.
+``cell_failed`` / ``cell_timeout``) on top.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["RunJournal", "JournalView", "error_fingerprint"]
+from .. import faults
+from .errors import FaultInjectedError
+
+__all__ = ["RunJournal", "JournalView", "error_fingerprint", "JOURNAL_VERSION"]
+
+#: Format version written by :meth:`RunJournal.append`.
+JOURNAL_VERSION = 2
+
+_HEADER_EVENT = "journal_header"
 
 
 def error_fingerprint(error: BaseException, limit: int = 200) -> str:
@@ -28,12 +56,29 @@ def error_fingerprint(error: BaseException, limit: int = 200) -> str:
     return f"{type(error).__name__}: {first_line}"[:limit]
 
 
+def _record_crc(canonical: str) -> str:
+    return f"{zlib.crc32(canonical.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _envelope_line(record: dict) -> str:
+    canonical = json.dumps(record, ensure_ascii=False)
+    return json.dumps(
+        {"crc": _record_crc(canonical), "record": record}, ensure_ascii=False
+    )
+
+
 @dataclass
 class JournalView:
-    """Parsed journal contents."""
+    """Parsed journal contents.
+
+    ``version`` is the format declared by the file's header record, or
+    1 for headerless (pre-v2) journals.  Header records are consumed
+    into ``version`` and do not appear in ``records``.
+    """
 
     records: list[dict] = field(default_factory=list)
     corrupt_lines: int = 0
+    version: int = 1
 
     def by_event(self, event: str) -> list[dict]:
         return [record for record in self.records if record.get("event") == event]
@@ -44,20 +89,76 @@ class RunJournal:
 
     def __init__(self, path: Path | str) -> None:
         self.path = Path(path)
+        self._tail_checked = False
 
-    def append(self, event: str, **fields: object) -> dict:
-        """Durably append one record; returns the record written."""
-        record = {"event": event, **fields}
-        line = json.dumps(record, ensure_ascii=False)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+    @property
+    def quarantine_path(self) -> Path:
+        """Where torn trailing lines are preserved for post-mortems."""
+        return self.path.with_name(self.path.name + ".quarantine")
+
+    def repair(self) -> int:
+        """Quarantine a torn trailing line; returns bytes moved aside.
+
+        A crash between ``write`` and the newline leaves a partial final
+        line with no ``\\n`` terminator.  The partial bytes are appended
+        to :attr:`quarantine_path` and the journal truncated back to its
+        last intact record.  Well-formed files are left untouched.
+        """
+        if not self.path.is_file():
+            return 0
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return 0
+        keep = data.rfind(b"\n") + 1  # 0 when the whole file is one torn line
+        torn = data[keep:]
+        with open(self.quarantine_path, "ab") as handle:
+            handle.write(torn + b"\n")
             handle.flush()
             os.fsync(handle.fileno())
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(torn)
+
+    def append(self, event: str, **fields: object) -> dict:
+        """Durably append one record; returns the record written.
+
+        The first append to a fresh file writes the v2 header line; the
+        first append of this process to an existing file heals any torn
+        tail (see :meth:`repair`) so recovery resumes from a well-formed
+        journal.
+        """
+        faults.trigger("journal_append", event)
+        record = {"event": event, **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._tail_checked:
+            self.repair()
+            self._tail_checked = True
+        lines = []
+        if not self.path.is_file() or self.path.stat().st_size == 0:
+            lines.append(
+                _envelope_line({"event": _HEADER_EVENT, "version": JOURNAL_VERSION})
+            )
+        line = _envelope_line(record)
+        torn = faults.torn_append(event)
+        if torn:
+            line = line[: max(len(line) // 2, 1)]
+        lines.append(line)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("" if torn else "\n"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        if torn:
+            raise FaultInjectedError(f"injected torn append at {event}")
         return record
 
     def read(self) -> JournalView:
-        """All decodable records; torn/corrupt lines are skipped, counted."""
+        """All decodable records; torn/corrupt lines are skipped, counted.
+
+        Read-only by design — a torn tail shows up as one corrupt line
+        here and is only moved aside by :meth:`append`/:meth:`repair`.
+        """
         view = JournalView()
         if not self.path.is_file():
             return view
@@ -65,12 +166,35 @@ class RunJournal:
             if not line.strip():
                 continue
             try:
-                record = json.loads(line)
+                parsed = json.loads(line)
             except json.JSONDecodeError:
                 view.corrupt_lines += 1
                 continue
-            if isinstance(record, dict):
-                view.records.append(record)
-            else:
+            if not isinstance(parsed, dict):
                 view.corrupt_lines += 1
+                continue
+            record = self._unwrap(parsed)
+            if record is None:
+                view.corrupt_lines += 1
+            elif record.get("event") == _HEADER_EVENT:
+                view.version = int(record.get("version", JOURNAL_VERSION))
+            else:
+                view.records.append(record)
         return view
+
+    @staticmethod
+    def _unwrap(parsed: dict) -> dict | None:
+        """The record behind one parsed line, or ``None`` if damaged.
+
+        v2 lines are ``{"crc", "record"}`` envelopes whose checksum must
+        match; anything else is treated as a bare v1 record.
+        """
+        if set(parsed.keys()) == {"crc", "record"}:
+            record = parsed["record"]
+            if not isinstance(record, dict):
+                return None
+            canonical = json.dumps(record, ensure_ascii=False)
+            if _record_crc(canonical) != parsed["crc"]:
+                return None
+            return record
+        return parsed

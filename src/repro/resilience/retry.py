@@ -19,7 +19,8 @@ from typing import Callable, TypeVar
 import numpy as np
 
 from . import faults
-from .errors import RetryBudgetExceededError
+from .deadline import Deadline
+from .errors import DeadlineExceededError, RetryBudgetExceededError
 
 __all__ = ["RetryPolicy", "with_retries"]
 
@@ -75,20 +76,30 @@ def with_retries(
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
     label: str = "with_retries",
+    deadline: Deadline | None = None,
 ) -> T:
     """Call ``fn(attempt)`` until it succeeds or the budget runs out.
 
     ``fn`` receives the 0-based attempt index so it can derive
     attempt-specific state (e.g. a spawned RNG stream) instead of
     replaying the identical failing draw.  Exhausting ``max_attempts``
-    or a deadline raises :class:`RetryBudgetExceededError` with the last
-    failure as ``__cause__``; exceptions outside ``retry_on`` propagate
-    immediately.
+    or a policy deadline raises :class:`RetryBudgetExceededError` with
+    the last failure as ``__cause__``; exceptions outside ``retry_on``
+    propagate immediately.
+
+    ``deadline`` is the caller's *outer* wall-clock budget (typically a
+    per-cell :class:`Deadline` threaded down from the campaign).  Serial
+    code cannot preempt a running attempt, so enforcement is
+    cooperative: no attempt starts past the deadline, and no backoff
+    sleep is entered that the deadline would outlast — both raise
+    :class:`DeadlineExceededError`.
     """
     policy = policy or RetryPolicy()
     started = clock()
     last_error: Exception | None = None
     for attempt in range(policy.max_attempts):
+        if deadline is not None:
+            deadline.check(label)
         attempt_start = clock()
         stalled = faults.stall_seconds(label, str(attempt))
         try:
@@ -124,6 +135,12 @@ def with_retries(
                     f"exhausted after {attempt + 1} attempts",
                     attempts=attempt + 1,
                     elapsed=total,
+                ) from error
+            if deadline is not None and deadline.remaining() <= delay:
+                raise DeadlineExceededError(
+                    f"{label}: deadline would expire during {delay:.1f}s backoff",
+                    budget=deadline.seconds,
+                    overdue=max(0.0, -deadline.remaining()),
                 ) from error
             if delay > 0.0:
                 sleep(delay)

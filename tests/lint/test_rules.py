@@ -1,6 +1,6 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR015 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR016 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
 The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009/RPR012) live under
@@ -71,6 +71,12 @@ CASES = [
     ("RPR013", "rpr013_bad.py", "rpr013_clean.py", 2),
     ("RPR014", "rpr014_bad.py", "rpr014_clean.py", 1),
     ("RPR015", "rpr015_bad.py", "rpr015_clean.py", 6),
+    (
+        "RPR016",
+        "proj/repro/parallel/rpr016_bad.py",
+        "proj/repro/parallel/rpr016_clean.py",
+        5,
+    ),
 ]
 
 

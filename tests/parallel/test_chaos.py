@@ -1,0 +1,341 @@
+"""End-to-end chaos matrix: injected faults at every fabric site, across
+``run_matrix`` / ``discover_facts`` / ``hyperparameter_grid``, serial and
+parallel.
+
+Every test follows the same contract the ``repro chaos`` CLI asserts:
+after recovery the deterministic result fields are bit-identical to a
+fault-free baseline, the journal is replayable (zero corrupt lines), and
+no shared-memory segment leaks.  Worker-side fault counters are
+per-process (each fresh worker re-arms the plan from the environment),
+which is why SIGKILL faults exhaust a cell's in-run budget and recovery
+happens on a resumed, fault-free pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.discovery import discover_facts
+from repro.experiments import clear_model_cache, run_matrix
+from repro.experiments.gridsearch import hyperparameter_grid
+from repro.faults import FAULT_PLAN_ENV, FaultPlan
+from repro.parallel import Cell, ParallelScheduler, WorkerCrashError, registry
+from repro.resilience import FaultInjectedError, RunJournal
+
+CAMPAIGN = dict(
+    datasets=("wn18rr-like",),
+    models=("distmult",),
+    strategies=("uniform_random", "entity_frequency"),
+    top_n=50,
+    max_candidates=100,
+    seed=0,
+)
+
+KILLED_KEY = "wn18rr-like/distmult/uniform_random"
+
+
+def det_fields(rows):
+    """The deterministic comparison tuple (repr makes NaN comparable)."""
+    return [
+        (r.dataset, r.model, r.strategy, r.status, r.num_facts, repr(r.mrr),
+         repr(r.test_mrr))
+        for r in rows
+    ]
+
+
+def assert_no_leaked_segments():
+    assert registry.registered_segments() == []
+    assert registry.orphaned_segments() == []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def chaos_model_cache(tmp_path_factory):
+    """One on-disk model cache for the whole module: train once, reuse."""
+    path = tmp_path_factory.mktemp("chaos-model-cache")
+    previous = os.environ.get("REPRO_MODEL_CACHE")
+    os.environ["REPRO_MODEL_CACHE"] = str(path)
+    clear_model_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_MODEL_CACHE", None)
+    else:
+        os.environ["REPRO_MODEL_CACHE"] = previous
+    clear_model_cache()
+
+
+@pytest.fixture(autouse=True)
+def _pristine_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def baseline_rows(chaos_model_cache):
+    return run_matrix(**CAMPAIGN)
+
+
+def stall_once_worker(context, payload, rng):
+    """Hang (as if wedged in a syscall) the first time the cell runs."""
+    sentinel = context["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        time.sleep(60.0)
+    return payload
+
+
+def echo_worker(context, payload, rng):
+    return payload
+
+
+class TestWatchdog:
+    def test_overdue_cell_is_killed_charged_and_retried(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            stall_once_worker,
+            1,
+            context={"sentinel": str(tmp_path / "stalled")},
+            journal=journal,
+            max_attempts=3,
+            on_error="degrade",
+            cell_deadline=2.0,
+        )
+        outcomes = scheduler.run([Cell(key="cell-0", payload=7)])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].value == 7
+        assert outcomes[0].attempts == 2
+        timeouts = journal.read().by_event("cell_timeout")
+        assert len(timeouts) == 1
+        assert "deadline" in timeouts[0]["error"]
+        assert_no_leaked_segments()
+
+    def test_silent_pool_is_detected_by_heartbeat_staleness(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        scheduler = ParallelScheduler(
+            stall_once_worker,
+            1,
+            context={"sentinel": str(tmp_path / "stalled")},
+            journal=journal,
+            max_attempts=3,
+            on_error="degrade",
+            # Must exceed pool spawn latency (~1-2s), or the fresh pool
+            # of the retry is itself declared stalled before it can beat.
+            heartbeat_timeout=4.0,
+        )
+        outcomes = scheduler.run([Cell(key="cell-0", payload=3)])
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].attempts == 2
+        timeouts = journal.read().by_event("cell_timeout")
+        assert len(timeouts) == 1
+        assert "stalled" in timeouts[0]["error"]
+        assert_no_leaked_segments()
+
+    def test_failed_heartbeat_emit_charges_the_cell_not_the_pool(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        with faults.inject(FaultPlan().fail("heartbeat_emit")):
+            scheduler = ParallelScheduler(
+                echo_worker,
+                1,
+                journal=journal,
+                max_attempts=3,
+                on_error="degrade",
+                heartbeat_timeout=30.0,
+            )
+            outcomes = scheduler.run(
+                [Cell(key=f"cell-{i}", payload=i) for i in range(2)]
+            )
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert sorted(o.value for o in outcomes) == [0, 1]
+        failed = journal.read().by_event("cell_failed")
+        assert len(failed) == 1
+        assert "FaultInjectedError" in failed[0]["error"]
+        assert_no_leaked_segments()
+
+
+class TestMatrixChaos:
+    def test_sigkilled_cell_recovers_bit_identically_on_resume(
+        self, baseline_rows, tmp_path
+    ):
+        journal_path = tmp_path / "run.jsonl"
+        plan = FaultPlan().kill("worker_dispatch", match="*uniform_random*")
+        with faults.inject(plan):
+            chaos_rows = run_matrix(
+                **CAMPAIGN,
+                journal_path=journal_path,
+                max_cell_attempts=2,
+                on_error="degrade",
+                procs=2,
+            )
+        killed = next(r for r in chaos_rows if r.strategy == "uniform_random")
+        assert killed.status == "failed"
+        assert "WorkerCrashError" in killed.error
+
+        recovered = run_matrix(
+            **CAMPAIGN,
+            journal_path=journal_path,
+            max_cell_attempts=6,
+            on_error="degrade",
+            procs=2,
+        )
+        assert det_fields(recovered) == det_fields(baseline_rows)
+        view = RunJournal(journal_path).read()
+        assert view.corrupt_lines == 0
+        assert view.version == 2
+        assert view.by_event("cell_failed")  # the crashes were journalled
+        assert_no_leaked_segments()
+
+    def test_lost_attach_is_retried_within_one_pass(self, baseline_rows, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        with faults.inject(FaultPlan().fail("shared_attach")):
+            rows = run_matrix(
+                **CAMPAIGN,
+                journal_path=journal_path,
+                max_cell_attempts=3,
+                on_error="degrade",
+                procs=2,
+            )
+        assert det_fields(rows) == det_fields(baseline_rows)
+        failed = RunJournal(journal_path).read().by_event("cell_failed")
+        assert failed  # at least one worker lost its first attach
+        assert all("FaultInjectedError" in record["error"] for record in failed)
+        assert_no_leaked_segments()
+
+    def test_torn_success_record_heals_on_resume(self, baseline_rows, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        with faults.inject(FaultPlan().torn(match="cell_succeeded")):
+            with pytest.raises(FaultInjectedError):
+                run_matrix(
+                    **CAMPAIGN, journal_path=journal_path, max_cell_attempts=3
+                )
+        journal = RunJournal(journal_path)
+        assert journal.read().corrupt_lines == 1  # the torn tail, untouched
+        faults.clear()
+        recovered = run_matrix(
+            **CAMPAIGN, journal_path=journal_path, max_cell_attempts=3
+        )
+        assert det_fields(recovered) == det_fields(baseline_rows)
+        view = journal.read()
+        assert view.corrupt_lines == 0  # resume quarantined the torn tail
+        assert journal.quarantine_path.is_file()
+        assert_no_leaked_segments()
+
+    def test_parent_side_cell_fault_reruns_within_one_pass(
+        self, baseline_rows, tmp_path
+    ):
+        journal_path = tmp_path / "run.jsonl"
+        with faults.inject(FaultPlan().fail("matrix_cell", match="*entity_frequency*")):
+            rows = run_matrix(
+                **CAMPAIGN,
+                journal_path=journal_path,
+                max_cell_attempts=3,
+                on_error="degrade",
+            )
+        assert det_fields(rows) == det_fields(baseline_rows)
+        failed = RunJournal(journal_path).read().by_event("cell_failed")
+        assert len(failed) == 1
+        assert failed[0]["cell"] == "wn18rr-like/distmult/entity_frequency"
+        assert_no_leaked_segments()
+
+
+class TestDiscoveryChaos:
+    def test_sigkilled_relation_exhausts_then_clean_run_matches(
+        self, trained_distmult, tiny_graph
+    ):
+        kwargs = dict(
+            strategy="uniform_random",
+            top_n=15,
+            max_candidates=36,
+            relations=[1],
+            seed=9,
+        )
+        serial = discover_facts(trained_distmult, tiny_graph, **kwargs)
+        with faults.inject(FaultPlan().kill("worker_dispatch", match="relation/1")):
+            with pytest.raises(WorkerCrashError):
+                discover_facts(trained_distmult, tiny_graph, procs=2, **kwargs)
+        assert_no_leaked_segments()
+        faults.clear()
+        recovered = discover_facts(trained_distmult, tiny_graph, procs=2, **kwargs)
+        np.testing.assert_array_equal(recovered.facts, serial.facts)
+        np.testing.assert_array_equal(recovered.ranks, serial.ranks)
+        assert recovered.per_relation == serial.per_relation
+        assert_no_leaked_segments()
+
+    def test_failed_dispatch_propagates_and_leaves_no_segments(
+        self, trained_distmult, tiny_graph
+    ):
+        kwargs = dict(
+            strategy="entity_frequency", top_n=20, max_candidates=50, seed=3
+        )
+        serial = discover_facts(trained_distmult, tiny_graph, **kwargs)
+        with faults.inject(FaultPlan().fail("worker_dispatch")):
+            with pytest.raises(FaultInjectedError):
+                discover_facts(trained_distmult, tiny_graph, procs=2, **kwargs)
+        assert_no_leaked_segments()
+        faults.clear()
+        recovered = discover_facts(trained_distmult, tiny_graph, procs=2, **kwargs)
+        np.testing.assert_array_equal(recovered.facts, serial.facts)
+        np.testing.assert_array_equal(recovered.ranks, serial.ranks)
+        assert recovered.mrr() == serial.mrr()
+
+
+class TestGridChaos:
+    def test_failed_grid_point_propagates_then_clean_run_matches(
+        self, trained_distmult, tiny_graph
+    ):
+        kwargs = dict(
+            strategy="uniform_random",
+            top_n_values=(10, 25),
+            max_candidates_values=(36,),
+            seed=5,
+        )
+        serial = hyperparameter_grid(trained_distmult, tiny_graph, **kwargs)
+        with faults.inject(FaultPlan().fail("worker_dispatch", match="grid/10/36")):
+            with pytest.raises(FaultInjectedError):
+                hyperparameter_grid(trained_distmult, tiny_graph, procs=2, **kwargs)
+        assert_no_leaked_segments()
+        faults.clear()
+        recovered = hyperparameter_grid(
+            trained_distmult, tiny_graph, procs=2, **kwargs
+        )
+        assert len(recovered) == len(serial) == 2
+        for serial_point, parallel_point in zip(serial, recovered):
+            assert parallel_point.top_n == serial_point.top_n
+            assert parallel_point.max_candidates == serial_point.max_candidates
+            assert parallel_point.num_facts == serial_point.num_facts
+            assert parallel_point.mrr == serial_point.mrr
+
+
+class TestJournalCompat:
+    def test_v1_journal_resumes_under_the_v2_writer(self, baseline_rows, tmp_path):
+        # A campaign journalled by the pre-envelope format: bare records,
+        # no header, no checksums.  Resume must replay its completed cell
+        # bit-identically and append v2 envelopes after it.
+        journal_path = tmp_path / "run.jsonl"
+        done = next(r for r in baseline_rows if r.strategy == "uniform_random")
+        v1_records = [
+            {"event": "cell_started", "cell": KILLED_KEY, "attempt": 1},
+            {"event": "cell_succeeded", "cell": KILLED_KEY, "row": done.to_dict()},
+        ]
+        journal_path.write_text(
+            "".join(json.dumps(record) + "\n" for record in v1_records),
+            encoding="utf-8",
+        )
+        rows = run_matrix(**CAMPAIGN, journal_path=journal_path, max_cell_attempts=3)
+        assert det_fields(rows) == det_fields(baseline_rows)
+        view = RunJournal(journal_path).read()
+        assert view.corrupt_lines == 0
+        assert view.version == 1  # headerless file keeps its v1 identity
+        # The replayed cell was not re-run; only the other cell started.
+        started = view.by_event("cell_started")
+        assert [r["cell"] for r in started].count(KILLED_KEY) == 1
+        # New appends are enveloped even inside a v1 file.
+        tail = journal_path.read_text(encoding="utf-8").strip().splitlines()[-1]
+        assert set(json.loads(tail)) == {"crc", "record"}

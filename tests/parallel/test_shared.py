@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import faults
+from repro.faults import FaultPlan
 from repro.parallel import SharedEmbeddingStore, attach_model
+from repro.parallel import registry
+from repro.resilience import FaultInjectedError, SegmentLostError
 
 
 class TestPublishAttachRoundTrip:
@@ -77,6 +81,33 @@ class TestLifecycle:
         store.close(unlink=True)
         with pytest.raises(FileNotFoundError):
             attach_model(handle)
+
+    def test_lost_segment_raises_typed_error(self, trained_distmult):
+        # SegmentLostError subclasses FileNotFoundError, so generic
+        # handlers keep working while the scheduler can tell "segment
+        # gone" apart from an ordinary missing file.
+        store = SharedEmbeddingStore.publish(trained_distmult)
+        handle = store.handle
+        store.close(unlink=True)
+        with pytest.raises(SegmentLostError, match=handle.segment):
+            attach_model(handle)
+        assert issubclass(SegmentLostError, FileNotFoundError)
+
+    def test_publish_registers_and_close_unregisters(self, trained_distmult):
+        store = SharedEmbeddingStore.publish(trained_distmult)
+        name = store.handle.segment
+        assert name in registry.registered_segments()
+        assert registry.owner_pid(name) is not None
+        store.close(unlink=True)
+        assert name not in registry.registered_segments()
+
+    def test_shared_attach_is_a_fault_site(self, trained_distmult):
+        with SharedEmbeddingStore.publish(trained_distmult) as store:
+            with faults.inject(FaultPlan().fail("shared_attach")):
+                with pytest.raises(FaultInjectedError):
+                    attach_model(store.handle)
+            model, shm = attach_model(store.handle)  # budget spent
+            shm.close()
 
     def test_context_manager_unlinks_on_error(self, trained_distmult):
         handle = None

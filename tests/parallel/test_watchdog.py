@@ -1,0 +1,167 @@
+"""Heartbeat board and segment-registry tests.
+
+The orphan tests create a real ``/dev/shm`` segment whose embedded
+owner pid belongs to an already-exited child process, which is exactly
+the state a SIGKILLed campaign leaves behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.parallel import registry
+from repro.parallel.watchdog import CellTimeoutError, HeartbeatBoard, WorkerCrashError
+from repro.resilience import FaultInjectedError, ResilienceError
+
+
+def _exit_immediately() -> None:
+    os._exit(0)
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed to be dead: a child that already exited."""
+    ctx = multiprocessing.get_context("spawn")
+    child = ctx.Process(target=_exit_immediately)
+    child.start()
+    child.join(timeout=60.0)
+    assert child.exitcode == 0
+    return child.pid
+
+
+class TestErrorTaxonomy:
+    def test_timeout_is_mechanically_a_crash(self):
+        # The scheduler's crash policy handles both through one path.
+        assert issubclass(CellTimeoutError, WorkerCrashError)
+        assert issubclass(WorkerCrashError, ResilienceError)
+
+
+class TestHeartbeatBoard:
+    def test_beat_moves_the_snapshot(self):
+        with HeartbeatBoard.create() as board:
+            before = board.snapshot()
+            board.beat()
+            after = board.snapshot()
+            assert after != before
+            assert len(after) == len(before)
+
+    def test_attach_sees_owner_beats(self):
+        board = HeartbeatBoard.create()
+        try:
+            attached = HeartbeatBoard.attach(board.name)
+            baseline = attached.snapshot()
+            board.beat()
+            assert attached.snapshot() != baseline
+            attached.close()
+        finally:
+            board.close()
+
+    def test_close_is_idempotent_and_unregisters(self):
+        board = HeartbeatBoard.create()
+        name = board.name
+        assert name in registry.registered_segments()
+        board.close()
+        board.close()  # second close must be silent
+        assert name not in registry.registered_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attached_close_leaves_segment_alive(self):
+        board = HeartbeatBoard.create()
+        try:
+            attached = HeartbeatBoard.attach(board.name)
+            attached.close()
+            still_there = shared_memory.SharedMemory(name=board.name)
+            still_there.close()
+        finally:
+            board.close()
+
+    def test_heartbeat_emit_is_a_fault_site(self):
+        with HeartbeatBoard.create() as board:
+            slot = os.getpid() % HeartbeatBoard.SLOTS
+            with faults.inject(FaultPlan().fail("heartbeat_emit", match=str(slot))):
+                with pytest.raises(FaultInjectedError):
+                    board.beat()
+            board.beat()  # budget spent; beats flow again
+
+
+class TestRegistryNames:
+    def test_allocated_names_embed_this_pid(self):
+        name = registry.allocate_name()
+        assert name.startswith(registry.SEGMENT_PREFIX)
+        assert registry.owner_pid(name) == os.getpid()
+        assert registry.allocate_name() != name  # counter advances
+
+    def test_owner_pid_of_foreign_names(self):
+        assert registry.owner_pid("psm_abc123") is None
+        assert registry.owner_pid(f"{registry.SEGMENT_PREFIX}notanumber-0") is None
+        assert registry.owner_pid(f"{registry.SEGMENT_PREFIX}4242-17") == 4242
+
+
+class TestRegisteredReaping:
+    def test_reap_registered_unlinks_and_tolerates_double_reap(self):
+        shm = shared_memory.SharedMemory(
+            create=True, name=registry.allocate_name(), size=64
+        )
+        registry.register_segment(shm)
+        assert shm.name in registry.registered_segments()
+        reaped = registry.reap_registered()
+        assert shm.name in reaped
+        assert registry.registered_segments() == []
+        assert registry.reap_registered() == []  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm.name)
+
+    def test_unregistered_segment_is_left_alone(self):
+        shm = shared_memory.SharedMemory(
+            create=True, name=registry.allocate_name(), size=64
+        )
+        registry.register_segment(shm)
+        registry.unregister_segment(shm.name)
+        assert shm.name not in registry.registered_segments()
+        registry.reap_registered()
+        survivor = shared_memory.SharedMemory(name=shm.name)
+        survivor.close()
+        shm.close()
+        shm.unlink()
+
+
+class TestOrphanScan:
+    def test_dead_owner_segment_is_detected_and_reaped(self):
+        dead = _dead_pid()
+        name = f"{registry.SEGMENT_PREFIX}{dead}-0"
+        shm = shared_memory.SharedMemory(create=True, name=name, size=64)
+        shm.close()
+        try:
+            assert name in registry.orphaned_segments()
+            reclaimed = registry.reap_orphans()
+            assert name in reclaimed
+            assert name not in registry.orphaned_segments()
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            try:
+                leftover = shared_memory.SharedMemory(name=name)
+                leftover.close()
+                leftover.unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_live_owner_segment_is_not_an_orphan(self):
+        shm = shared_memory.SharedMemory(
+            create=True, name=registry.allocate_name(), size=64
+        )
+        try:
+            assert shm.name not in registry.orphaned_segments()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_missing_shm_dir_reports_no_orphans(self, tmp_path):
+        assert registry.orphaned_segments(tmp_path / "nope") == []
+        assert registry.reap_orphans(tmp_path / "nope") == []

@@ -1,0 +1,120 @@
+"""Deadline unit tests — all on an injected clock, no real waiting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceededError,
+    RetryPolicy,
+    with_retries,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_rejects_non_positive_budgets(self):
+        with pytest.raises(ValueError, match="positive"):
+            Deadline.after(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            Deadline.after(-5.0)
+
+    def test_remaining_counts_down_and_goes_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        assert deadline.remaining() == 10.0
+        assert not deadline.expired()
+        clock.advance(7.0)
+        assert deadline.remaining() == 3.0
+        clock.advance(5.0)
+        assert deadline.remaining() == -2.0
+        assert deadline.expired()
+
+    def test_check_passes_then_raises_with_context(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        deadline.check("cell")  # in budget: silent
+        clock.advance(12.5)
+        with pytest.raises(DeadlineExceededError, match="cell") as excinfo:
+            deadline.check("cell")
+        assert excinfo.value.budget == 10.0
+        assert excinfo.value.overdue == pytest.approx(2.5)
+
+    def test_deadline_error_is_a_timeout(self):
+        # Callers using stdlib idioms (except TimeoutError) must catch it.
+        assert issubclass(DeadlineExceededError, TimeoutError)
+
+
+class TestRetryDeadlineCooperation:
+    def test_no_attempt_starts_past_the_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        attempts = []
+
+        def fn(attempt):
+            attempts.append(attempt)
+            clock.advance(6.0)  # first attempt alone blows the budget
+            raise RuntimeError("boom")
+
+        with pytest.raises(DeadlineExceededError):
+            with_retries(
+                fn,
+                RetryPolicy(max_attempts=5),
+                clock=clock,
+                sleep=lambda s: None,
+                deadline=deadline,
+            )
+        assert attempts == [0]
+
+    def test_backoff_that_would_overshoot_raises_instead_of_sleeping(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        slept = []
+
+        def fn(attempt):
+            clock.advance(4.0)
+            raise RuntimeError("boom")
+
+        # After attempt 0 (t=4) there are 6s left; an 8s backoff would
+        # outlast the deadline, so the loop raises without sleeping.
+        with pytest.raises(DeadlineExceededError, match="backoff") as excinfo:
+            with_retries(
+                fn,
+                RetryPolicy(max_attempts=3, base_delay=8.0, multiplier=1.0),
+                clock=clock,
+                sleep=slept.append,
+                deadline=deadline,
+            )
+        assert slept == []
+        assert excinfo.value.budget == 10.0
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_deadline_with_headroom_never_interferes(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1000.0, clock=clock)
+
+        def fn(attempt):
+            clock.advance(1.0)
+            if attempt < 2:
+                raise RuntimeError("boom")
+            return "ok"
+
+        result = with_retries(
+            fn,
+            RetryPolicy(max_attempts=3, base_delay=1.0),
+            clock=clock,
+            sleep=lambda s: clock.advance(s),
+            deadline=deadline,
+        )
+        assert result == "ok"

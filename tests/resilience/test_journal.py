@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import json
 
-from repro.resilience import RunJournal, error_fingerprint
+import pytest
+
+from repro.faults import FaultPlan, inject
+from repro.resilience import FaultInjectedError, RunJournal, error_fingerprint
+from repro.resilience.journal import JOURNAL_VERSION
 
 
 class TestRoundTrip:
@@ -64,8 +68,12 @@ class TestTornLines:
     def test_records_survive_as_plain_json_lines(self, tmp_path):
         journal = RunJournal(tmp_path / "run.jsonl")
         journal.append("cell_started", cell="a/b/c")
-        line = journal.path.read_text(encoding="utf-8").strip()
-        assert json.loads(line) == {"event": "cell_started", "cell": "a/b/c"}
+        header, line = journal.path.read_text(encoding="utf-8").strip().splitlines()
+        assert json.loads(header)["record"] == {
+            "event": "journal_header",
+            "version": 2,
+        }
+        assert json.loads(line)["record"] == {"event": "cell_started", "cell": "a/b/c"}
 
 
 class TestByEvent:
@@ -78,6 +86,141 @@ class TestByEvent:
         assert len(view.by_event("cell_started")) == 2
         assert len(view.by_event("cell_failed")) == 1
         assert view.by_event("nonexistent") == []
+
+
+class TestFormatV2:
+    def test_fresh_journal_declares_current_version(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("x")
+        assert journal.read().version == JOURNAL_VERSION
+
+    def test_v1_journal_remains_readable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"event": "cell_started", "cell": "a"}\n'
+            '{"event": "cell_succeeded", "cell": "a"}\n',
+            encoding="utf-8",
+        )
+        view = RunJournal(path).read()
+        assert [r["event"] for r in view.records] == [
+            "cell_started",
+            "cell_succeeded",
+        ]
+        assert view.corrupt_lines == 0
+        assert view.version == 1
+
+    def test_mixed_v1_v2_file_is_legal(self, tmp_path):
+        # Upgrade-in-place: an old journal extended by a new writer.
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "cell_started", "cell": "a"}\n', encoding="utf-8")
+        journal = RunJournal(path)
+        journal.append("cell_succeeded", cell="a")
+        view = journal.read()
+        assert [r["event"] for r in view.records] == [
+            "cell_started",
+            "cell_succeeded",
+        ]
+        assert view.corrupt_lines == 0
+
+    def test_crc_catches_silent_damage(self, tmp_path):
+        # A flipped byte that still parses as JSON — invisible to v1.
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append("cell_succeeded", cell="a", mrr=0.25)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        damaged = json.loads(lines[-1])
+        damaged["record"]["mrr"] = 0.52
+        lines[-1] = json.dumps(damaged)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        view = journal.read()
+        assert view.records == []
+        assert view.corrupt_lines == 1
+
+
+class TestRepair:
+    @staticmethod
+    def _tear(path):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": "00000000", "record": {"event": "cell_s')
+
+    def test_read_never_mutates_the_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append("cell_started", cell="a")
+        self._tear(path)
+        before = path.read_bytes()
+        view = journal.read()
+        assert view.corrupt_lines == 1
+        assert path.read_bytes() == before
+        assert not journal.quarantine_path.exists()
+
+    def test_append_quarantines_torn_tail_first(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).append("cell_started", cell="a")
+        self._tear(path)
+        journal = RunJournal(path)  # fresh process resuming the campaign
+        journal.append("cell_succeeded", cell="a")
+        view = journal.read()
+        assert [r["event"] for r in view.records] == [
+            "cell_started",
+            "cell_succeeded",
+        ]
+        assert view.corrupt_lines == 0
+        quarantined = journal.quarantine_path.read_text(encoding="utf-8")
+        assert '"event": "cell_s' in quarantined
+
+    def test_repair_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append("cell_started", cell="a")
+        self._tear(path)
+        moved = journal.repair()
+        assert moved > 0
+        assert journal.repair() == 0
+        assert journal.repair() == 0
+        # Exactly one quarantine line despite three repair calls.
+        quarantine = journal.quarantine_path.read_text(encoding="utf-8")
+        assert len(quarantine.splitlines()) == 1
+
+    def test_repair_of_clean_or_missing_file_is_a_noop(self, tmp_path):
+        journal = RunJournal(tmp_path / "absent.jsonl")
+        assert journal.repair() == 0
+        journal.append("x")
+        assert journal.repair() == 0
+        assert not journal.quarantine_path.exists()
+
+    def test_wholly_torn_file_empties_then_regrows_with_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "cell_st', encoding="utf-8")  # no newline
+        journal = RunJournal(path)
+        journal.append("cell_started", cell="a")
+        view = journal.read()
+        assert view.version == JOURNAL_VERSION
+        assert [r["event"] for r in view.records] == ["cell_started"]
+        assert view.corrupt_lines == 0
+
+
+class TestInjectedTornAppend:
+    def test_torn_fault_leaves_recoverable_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append("cell_started", cell="a")
+        with inject(FaultPlan().torn(match="cell_succeeded")):
+            with pytest.raises(FaultInjectedError):
+                journal.append("cell_succeeded", cell="a")
+        assert not path.read_bytes().endswith(b"\n")
+        view = journal.read()
+        assert [r["event"] for r in view.records] == ["cell_started"]
+        assert view.corrupt_lines == 1
+        # A later writer (the recovery pass) heals and extends the file.
+        resumed = RunJournal(path)
+        resumed.append("cell_succeeded", cell="a")
+        healed = resumed.read()
+        assert [r["event"] for r in healed.records] == [
+            "cell_started",
+            "cell_succeeded",
+        ]
+        assert healed.corrupt_lines == 0
 
 
 class TestErrorFingerprint:

@@ -92,15 +92,22 @@ def _metrics_sink(path: str | None):
 
 
 def _load_graph(name: str) -> KnowledgeGraph:
-    """Resolve a dataset argument: registry name or TSV directory."""
+    """Resolve a dataset argument: registry name, TSV dir, or KG store."""
+    from .kg import FULL_SCALE_PROFILES, kg_store_exists, load_full_dataset, load_kg_store
+
     if name in DATASET_PROFILES:
         return load_dataset(name)
-    path = Path(name)
+    if name in FULL_SCALE_PROFILES:
+        return load_full_dataset(name)
+    path = Path(name[len("store:") :] if name.startswith("store:") else name)
+    if kg_store_exists(path):
+        return load_kg_store(path)
     if path.is_dir():
         return load_dataset_dir(path)
     raise SystemExit(
         f"error: unknown dataset {name!r} — not a registry name "
-        f"({sorted(DATASET_PROFILES)}) and not a dataset directory"
+        f"({sorted(DATASET_PROFILES) + sorted(FULL_SCALE_PROFILES)}), "
+        f"not a KG store, and not a dataset directory"
     )
 
 
@@ -108,7 +115,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name in DATASET_PROFILES:
         graph = load_dataset(name)
-        stats = GraphStatistics(graph.train, backend="sparse")
+        stats = GraphStatistics(graph.train)
         rows.append(
             {
                 "dataset": name,
@@ -122,6 +129,68 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title="Built-in dataset replicas"))
+    return 0
+
+
+def _cmd_store_generate(args: argparse.Namespace) -> int:
+    from .kg import (
+        DATASET_PROFILES,
+        FULL_SCALE_PROFILES,
+        generate_kg_streaming,
+        kg_store_exists,
+        scale_profile,
+    )
+
+    profile = FULL_SCALE_PROFILES.get(args.profile) or DATASET_PROFILES.get(
+        args.profile
+    )
+    if profile is None:
+        raise SystemExit(
+            f"error: unknown profile {args.profile!r}; available: "
+            f"{sorted(DATASET_PROFILES) + sorted(FULL_SCALE_PROFILES)}"
+        )
+    if args.scale != 1.0:
+        profile = scale_profile(profile, args.scale)
+    out = Path(args.out)
+    if kg_store_exists(out) and not args.force:
+        raise SystemExit(
+            f"error: {out} already holds a KG store (use --force to regenerate)"
+        )
+    graph = generate_kg_streaming(profile, out, chunk_size=args.chunk_size)
+    print(
+        f"wrote {graph.name}: {graph.num_entities} entities, "
+        f"{graph.num_relations} relations, "
+        f"{len(graph.train)}/{len(graph.valid)}/{len(graph.test)} "
+        f"train/valid/test triples -> {out}"
+    )
+    print(f"use it as dataset argument: store:{out}")
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    from .kg import kg_store_exists, load_kg_store
+
+    directory = Path(args.directory)
+    if not kg_store_exists(directory):
+        raise SystemExit(f"error: {directory} is not a complete KG store")
+    graph = load_kg_store(directory, verify=not args.no_verify)
+    size_bytes = sum(
+        p.stat().st_size for p in directory.iterdir() if p.is_file()
+    )
+    rows = [
+        {
+            "dataset": graph.name,
+            "entities": graph.num_entities,
+            "relations": graph.num_relations,
+            "train": len(graph.train),
+            "valid": len(graph.valid),
+            "test": len(graph.test),
+            "size_mib": round(size_bytes / (1 << 20), 1),
+        }
+    ]
+    print(format_table(rows, title=f"KG store at {directory}"))
+    if not args.no_verify:
+        print("checksums: OK (all columns verified against manifest)")
     return 0
 
 
@@ -689,6 +758,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list built-in dataset replicas").set_defaults(
         func=_cmd_datasets
     )
+
+    store = sub.add_parser(
+        "store", help="out-of-core KG stores (generate / inspect)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_gen = store_sub.add_parser(
+        "generate", help="stream a replica profile into a mmap-backed store"
+    )
+    store_gen.add_argument("profile",
+                           help="profile name (replica or full-scale, e.g. "
+                                "yago310-full)")
+    store_gen.add_argument("-o", "--out", required=True,
+                           help="store directory to create")
+    store_gen.add_argument("--scale", type=float, default=1.0,
+                           help="scale entity/triple counts by this factor")
+    store_gen.add_argument("--chunk-size", type=int, default=1 << 18,
+                           help="triples sampled per streaming chunk")
+    store_gen.add_argument("--force", action="store_true",
+                           help="regenerate even if the store already exists")
+    store_gen.set_defaults(func=_cmd_store_generate)
+    store_info = store_sub.add_parser(
+        "info", help="summarise a KG store and verify its checksums"
+    )
+    store_info.add_argument("directory")
+    store_info.add_argument("--no-verify", action="store_true",
+                            help="skip checksum verification")
+    store_info.set_defaults(func=_cmd_store_info)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate the paper's headline tables"

@@ -8,9 +8,16 @@ Public surface:
 * :class:`GraphStatistics` and the free functions in :mod:`repro.kg.stats`
   — degree, frequency, triangles, clustering coefficients.
 * :func:`load_dataset` — benchmark replica registry (see
-  :mod:`repro.kg.datasets` for the substitution rationale).
-* :func:`generate_kg` / :class:`KGProfile` — synthetic KG generation.
-* :func:`load_dataset_dir` / :func:`save_dataset_dir` — TSV dataset I/O.
+  :mod:`repro.kg.datasets` for the substitution rationale);
+  :func:`load_full_dataset` for the full-scale out-of-core replicas.
+* :func:`generate_kg` / :class:`KGProfile` — synthetic KG generation;
+  :func:`generate_kg_streaming` for chunked generation straight into a
+  mmap-backed store.
+* :class:`StorageBackend` / :class:`InMemoryBackend` /
+  :class:`MmapBackend` — the storage substrate behind every
+  :class:`TripleSet` (see :mod:`repro.kg.storage`).
+* :func:`load_dataset_dir` / :func:`save_dataset_dir` — TSV dataset I/O;
+  :func:`save_kg_store` / :func:`load_kg_store` — binary KG stores.
 """
 
 from .analysis import (
@@ -20,16 +27,33 @@ from .analysis import (
     powerlaw_exponent,
     relation_profiles,
 )
+from .blocked import (
+    DEFAULT_MEMORY_BUDGET,
+    local_triangles_blocked,
+    plan_node_blocks,
+    square_clustering_blocked,
+)
 from .datasets import (
     DATASET_PROFILES,
+    FULL_SCALE_PROFILES,
     PAPER_METADATA,
     PaperDatasetMetadata,
     available_datasets,
+    available_full_datasets,
     load_dataset,
+    load_full_dataset,
 )
-from .generators import KGProfile, generate_kg
+from .generators import KGProfile, generate_kg, generate_kg_streaming, scale_profile
 from .graph import KnowledgeGraph
-from .io import load_dataset_dir, read_triples_tsv, save_dataset_dir, write_triples_tsv
+from .io import (
+    kg_store_exists,
+    load_dataset_dir,
+    load_kg_store,
+    read_triples_tsv,
+    save_dataset_dir,
+    save_kg_store,
+    write_triples_tsv,
+)
 from .stats import (
     OBJECT,
     SUBJECT,
@@ -41,8 +65,16 @@ from .stats import (
     local_triangles,
     side_entities,
     square_clustering,
+    square_clustering_reference,
     to_networkx,
     undirected_adjacency,
+)
+from .storage import (
+    InMemoryBackend,
+    MmapBackend,
+    StorageBackend,
+    StorageCorruptError,
+    open_backend,
 )
 from .transforms import (
     InverseLeak,
@@ -71,16 +103,34 @@ __all__ = [
     "local_triangles",
     "local_clustering_coefficient",
     "square_clustering",
+    "square_clustering_reference",
     "global_clustering_coefficient",
+    "DEFAULT_MEMORY_BUDGET",
+    "plan_node_blocks",
+    "local_triangles_blocked",
+    "square_clustering_blocked",
+    "StorageBackend",
+    "InMemoryBackend",
+    "MmapBackend",
+    "StorageCorruptError",
+    "open_backend",
     "KGProfile",
     "generate_kg",
+    "generate_kg_streaming",
+    "scale_profile",
     "DATASET_PROFILES",
+    "FULL_SCALE_PROFILES",
     "PAPER_METADATA",
     "PaperDatasetMetadata",
     "available_datasets",
+    "available_full_datasets",
     "load_dataset",
+    "load_full_dataset",
     "load_dataset_dir",
     "save_dataset_dir",
+    "save_kg_store",
+    "load_kg_store",
+    "kg_store_exists",
     "read_triples_tsv",
     "write_triples_tsv",
     "RelationProfile",

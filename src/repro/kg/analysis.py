@@ -118,7 +118,7 @@ def dataset_report(graph: KnowledgeGraph) -> dict[str, object]:
     on: sizes, density, clustering, relation cardinalities, and the
     popularity skew of the degree distribution.
     """
-    stats = GraphStatistics(graph.train, backend="sparse")
+    stats = GraphStatistics(graph.train)
     degree = stats.degree
     positive = degree[degree > 0]
     report: dict[str, object] = {

@@ -21,17 +21,24 @@ YAGO3-10 lowest efficiency — depend on.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
-from .generators import KGProfile, generate_kg
+from .generators import KGProfile, generate_kg, generate_kg_streaming
 from .graph import KnowledgeGraph
+from .io import kg_store_exists, load_kg_store
 
 __all__ = [
     "DATASET_PROFILES",
+    "FULL_SCALE_PROFILES",
     "PAPER_METADATA",
     "PaperDatasetMetadata",
     "available_datasets",
+    "available_full_datasets",
     "load_dataset",
+    "load_full_dataset",
 ]
 
 
@@ -121,12 +128,55 @@ DATASET_PROFILES: dict[str, KGProfile] = {
     ),
 }
 
+# Full-scale replicas: entity/relation/triple counts taken directly from
+# Table 1 (``PAPER_METADATA``), not scaled down.  These only exist on the
+# out-of-core path — :func:`load_full_dataset` streams them into a
+# mmap-backed KG store on first use and reopens the store afterwards, so
+# the ~1.09M-triple YAGO3-10 replica never transits through the
+# in-memory generator.
+FULL_SCALE_PROFILES: dict[str, KGProfile] = {
+    "yago310-full": KGProfile(
+        name="yago310-full",
+        num_entities=PAPER_METADATA["yago310"].entities,
+        num_relations=PAPER_METADATA["yago310"].relations,
+        num_triples=(
+            PAPER_METADATA["yago310"].training
+            + PAPER_METADATA["yago310"].validation
+            + PAPER_METADATA["yago310"].test
+        ),
+        valid_fraction=PAPER_METADATA["yago310"].validation
+        / (
+            PAPER_METADATA["yago310"].training
+            + PAPER_METADATA["yago310"].validation
+            + PAPER_METADATA["yago310"].test
+        ),
+        test_fraction=PAPER_METADATA["yago310"].test
+        / (
+            PAPER_METADATA["yago310"].training
+            + PAPER_METADATA["yago310"].validation
+            + PAPER_METADATA["yago310"].test
+        ),
+        num_types=8,
+        popularity_exponent=0.95,
+        triangle_closure_prob=0.14,
+        relation_skew=0.9,
+        pairs_per_relation=2,
+        seed=310,
+        metadata={"paper_dataset": "yago310", "full_scale": True},
+    ),
+}
+
 _CACHE: dict[str, KnowledgeGraph] = {}
 
 
 def available_datasets() -> list[str]:
     """Names accepted by :func:`load_dataset`, in the paper's order."""
     return list(DATASET_PROFILES)
+
+
+def available_full_datasets() -> list[str]:
+    """Names accepted by :func:`load_full_dataset`."""
+    return list(FULL_SCALE_PROFILES)
 
 
 def load_dataset(name: str, use_cache: bool = True) -> KnowledgeGraph:
@@ -146,3 +196,38 @@ def load_dataset(name: str, use_cache: bool = True) -> KnowledgeGraph:
     if use_cache:
         _CACHE[name] = graph
     return graph
+
+
+def _default_store_root() -> Path:
+    """Where generated full-scale stores live between runs."""
+    override = os.environ.get("REPRO_STORE_ROOT")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-kg-stores"
+
+
+def load_full_dataset(
+    name: str,
+    directory: Path | str | None = None,
+    mmap: bool = True,
+    verify: bool = True,
+) -> KnowledgeGraph:
+    """Load a full-scale replica, generating its KG store on first use.
+
+    ``directory`` defaults to ``$REPRO_STORE_ROOT/<name>`` (falling back
+    to the system temp dir).  If a complete store already exists there it
+    is reopened — mmap views, millisecond load — otherwise the streaming
+    generator builds it first.  ``mmap=False`` materialises the store
+    into RAM after loading (backend-equivalence testing).
+    """
+    if name not in FULL_SCALE_PROFILES:
+        raise KeyError(
+            f"unknown full-scale dataset {name!r}; "
+            f"available: {available_full_datasets()}"
+        )
+    store_dir = (
+        Path(directory) if directory is not None else _default_store_root() / name
+    )
+    if not kg_store_exists(store_dir):
+        generate_kg_streaming(FULL_SCALE_PROFILES[name], store_dir)
+    return load_kg_store(store_dir, mmap=mmap, verify=verify)

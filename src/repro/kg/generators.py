@@ -19,14 +19,24 @@ Two properties matter for a faithful reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import shutil
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
 from .graph import KnowledgeGraph
+from .io import finalize_kg_store
+from .storage import MmapBackend
 from .triples import TripleSet, encode_keys
+from .vocabulary import Vocabulary
 
-__all__ = ["KGProfile", "generate_kg"]
+__all__ = [
+    "KGProfile",
+    "generate_kg",
+    "generate_kg_streaming",
+    "scale_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -273,3 +283,334 @@ def _split(
     valid = heldout[:n_valid]
     test = heldout[n_valid:]
     return train, valid, test
+
+
+# ----------------------------------------------------------------------
+# Streaming generation (out-of-core substrate)
+# ----------------------------------------------------------------------
+
+
+def scale_profile(
+    profile: KGProfile,
+    factor: float,
+    name: str | None = None,
+    seed: int | None = None,
+) -> KGProfile:
+    """Scale a profile's entity and triple counts by ``factor``.
+
+    Shape parameters (skew exponents, closure probability, split
+    fractions) are preserved, so a scaled replica keeps the statistical
+    character of the original at a different size — this is how the
+    substrate benchmarks sweep 1× → 50× without hand-tuning profiles.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return replace(
+        profile,
+        name=name or f"{profile.name}-x{factor:g}",
+        num_entities=max(2, int(round(profile.num_entities * factor))),
+        num_triples=max(1, int(round(profile.num_triples * factor))),
+        seed=profile.seed if seed is None else seed,
+    )
+
+
+def _cdf(weights: np.ndarray) -> np.ndarray:
+    return np.cumsum(weights, dtype=np.float64)
+
+
+def _draw(cdf: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Vectorised inverse-CDF sampling: map uniforms to indices."""
+    return np.minimum(
+        np.searchsorted(cdf, u, side="right"), cdf.shape[0] - 1
+    ).astype(np.int64)
+
+
+def _novel_mask(sorted_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Mask of ``keys`` not present in the sorted accumulator."""
+    if sorted_keys.size == 0:
+        return np.ones(keys.shape[0], dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_keys, keys), sorted_keys.size - 1)
+    return sorted_keys[pos] != keys
+
+
+class _ChunkSampler:
+    """Vectorised re-implementation of the base-triple sampling step.
+
+    Where :func:`generate_kg` draws one entity at a time through
+    ``rng.choice`` (fine at replica scale, hopeless at a million
+    triples), this draws whole chunks through per-type inverse-CDF
+    lookups: every random draw is a uniform array mapped through a
+    precomputed cumulative table with ``searchsorted``.
+    """
+
+    def __init__(self, profile: KGProfile, rng: np.random.Generator) -> None:
+        n, k = profile.num_entities, profile.num_relations
+        self.n, self.k = n, k
+        self.rng = rng
+        self.entity_types = rng.integers(0, profile.num_types, size=n)
+        popularity = _zipf_weights(n, profile.popularity_exponent, rng)
+        self.relation_cdf = _cdf(
+            _zipf_weights(k, profile.relation_skew, rng)
+        )
+        type_pairs = _sample_type_pairs(
+            k, profile.num_types, profile.pairs_per_relation, rng
+        )
+        self.num_types = profile.num_types
+        self.members = [
+            np.flatnonzero(self.entity_types == t)
+            for t in range(profile.num_types)
+        ]
+        self.type_cdf = []
+        for members in self.members:
+            if members.size:
+                w = popularity[members]
+                self.type_cdf.append(_cdf(w / w.sum()))
+            else:
+                self.type_cdf.append(np.zeros(0))
+        # Pad the per-relation type pairs into rectangular lookup tables
+        # so a chunk of relation draws maps to type pairs with one fancy
+        # index (padding rows are never selected: pair_idx < counts[r]).
+        counts = np.asarray([len(p) for p in type_pairs], dtype=np.int64)
+        width = int(counts.max())
+        self.pair_counts = counts
+        self.pair_src = np.zeros((k, width), dtype=np.int64)
+        self.pair_dst = np.zeros((k, width), dtype=np.int64)
+        for r, pairs in enumerate(type_pairs):
+            self.pair_src[r, : len(pairs)] = pairs[:, 0]
+            self.pair_dst[r, : len(pairs)] = pairs[:, 1]
+
+    def _sample_entities(self, types: np.ndarray) -> np.ndarray:
+        out = np.empty(types.shape[0], dtype=np.int64)
+        u = self.rng.random(types.shape[0])
+        for t in range(self.num_types):
+            mask = types == t
+            if not mask.any():
+                continue
+            members = self.members[t]
+            if members.size == 0:
+                out[mask] = self.rng.integers(
+                    0, self.n, size=int(mask.sum())
+                )
+            else:
+                out[mask] = members[_draw(self.type_cdf[t], u[mask])]
+        return out
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` candidate triples as an ``(size, 3)`` array."""
+        rel = _draw(self.relation_cdf, self.rng.random(size))
+        pair_idx = (
+            self.rng.random(size) * self.pair_counts[rel]
+        ).astype(np.int64)
+        src_t = self.pair_src[rel, pair_idx]
+        dst_t = self.pair_dst[rel, pair_idx]
+        return np.stack(
+            [self._sample_entities(src_t), rel, self._sample_entities(dst_t)],
+            axis=1,
+        )
+
+
+def _neighbour_csr(
+    subjects: np.ndarray, objects: np.ndarray, num_entities: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected neighbour lists as ``(indptr, neighbours)`` arrays."""
+    mask = subjects != objects
+    nodes = np.concatenate([subjects[mask], objects[mask]])
+    neigh = np.concatenate([objects[mask], subjects[mask]])
+    order = np.argsort(nodes, kind="stable")
+    counts = np.bincount(nodes, minlength=num_entities)
+    indptr = np.zeros(num_entities + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, neigh[order]
+
+
+def generate_kg_streaming(
+    profile: KGProfile,
+    directory: Path | str,
+    chunk_size: int = 1 << 18,
+    max_rounds: int = 200,
+) -> KnowledgeGraph:
+    """Generate a synthetic KG directly into a mmap-backed store.
+
+    The out-of-core twin of :func:`generate_kg`: candidate triples are
+    drawn in vectorised chunks, deduplicated against an in-RAM sorted
+    key index (8 bytes per accepted triple — the only state that grows
+    with graph size), and streamed through
+    :class:`~repro.kg.storage.MmapBackend` writers.  The resident
+    footprint is ``O(num_triples · 8 B)`` for the key index plus
+    ``O(chunk_size)`` scratch, never the full triple table — a
+    full-scale YAGO3-10 replica (~123k entities, ~1.09M triples)
+    generates comfortably under a 256 MiB budget.
+
+    Deterministic given the profile, but *not* draw-for-draw compatible
+    with :func:`generate_kg`: the chunked sampler consumes the RNG
+    stream differently.  The 1× replicas therefore keep using
+    :func:`generate_kg`, bit-identical to every release so far.
+
+    Returns the graph backed by read-only mmap views of the new store
+    (as if ``load_kg_store(directory)`` had been called).
+    """
+    directory = Path(directory)
+    rng = np.random.default_rng(profile.seed)
+    n, k = profile.num_entities, profile.num_relations
+    sampler = _ChunkSampler(profile, rng)
+
+    closure_count = int(round(profile.num_triples * profile.triangle_closure_prob))
+    base_count = profile.num_triples - closure_count
+
+    scratch_dir = directory / ".gen-scratch"
+    scratch = MmapBackend(scratch_dir, mode="r+")
+    sorted_keys = np.zeros(0, dtype=np.int64)
+
+    def accept(candidates: np.ndarray, writer, limit: int) -> int:
+        """Dedup a candidate chunk and stream the novel rows out."""
+        nonlocal sorted_keys
+        keys = encode_keys(candidates, n, k)
+        unique_keys, first = np.unique(keys, return_index=True)
+        novel = _novel_mask(sorted_keys, unique_keys)
+        take = min(limit, int(novel.sum()))
+        if take == 0:
+            return 0
+        rows = first[novel][:take]
+        writer.append(candidates[rows])
+        sorted_keys = np.sort(
+            np.concatenate([sorted_keys, unique_keys[novel][:take]])
+        )
+        return take
+
+    # Phase 1: base triples, chunk by chunk.
+    accepted = 0
+    with scratch.writer("base", np.int64, columns=3) as base_writer:
+        stalls = 0
+        for _ in range(max_rounds):
+            remaining = base_count - accepted
+            if remaining <= 0:
+                break
+            size = min(chunk_size, int(remaining * 1.4) + 16)
+            got = accept(sampler.sample(size), base_writer, remaining)
+            accepted += got
+            stalls = 0 if got else stalls + 1
+            if stalls >= 3:
+                break
+    base_arr = scratch.get("base") if accepted else np.zeros((0, 3), np.int64)
+
+    # Phase 2: wedge closures over the base graph's undirected projection.
+    indptr, neigh = _neighbour_csr(base_arr[:, 0], base_arr[:, 2], n)
+    deg = np.diff(indptr)
+    eligible = np.flatnonzero(deg >= 2)
+    closed = 0
+    with scratch.writer("closures", np.int64, columns=3) as closure_writer:
+        stalls = 0
+        for _ in range(max_rounds):
+            remaining = profile.num_triples - accepted - closed
+            if remaining <= 0 or eligible.size == 0:
+                break
+            size = min(chunk_size, int(remaining * 1.6) + 16)
+            centres = eligible[rng.integers(0, eligible.size, size=size)]
+            d = deg[centres]
+            i = (rng.random(size) * d).astype(np.int64)
+            j = (rng.random(size) * (d - 1)).astype(np.int64)
+            j += j >= i  # second distinct neighbour slot
+            candidates = np.stack(
+                [
+                    neigh[indptr[centres] + i],
+                    _draw(sampler.relation_cdf, rng.random(size)),
+                    neigh[indptr[centres] + j],
+                ],
+                axis=1,
+            )
+            got = accept(candidates, closure_writer, remaining)
+            closed += got
+            stalls = 0 if got else stalls + 1
+            if stalls >= 3:
+                break
+    closure_arr = (
+        scratch.get("closures") if closed else np.zeros((0, 3), np.int64)
+    )
+    total = accepted + closed
+
+    def gather(idx: np.ndarray) -> np.ndarray:
+        """Fetch rows by global index across the two scratch columns."""
+        out = np.empty((idx.shape[0], 3), dtype=np.int64)
+        in_base = idx < accepted
+        out[in_base] = base_arr[idx[in_base]]
+        out[~in_base] = closure_arr[idx[~in_base] - accepted]
+        return out
+
+    # Phase 3: permutation and split (vectorised twin of _split).
+    perm = rng.permutation(total)
+    n_valid = int(total * profile.valid_fraction)
+    n_test = int(total * profile.test_fraction)
+    n_train = total - n_valid - n_test
+    train_idx, heldout_idx = perm[:n_train], perm[n_train:]
+
+    seen_entities = np.zeros(n, dtype=bool)
+    seen_relations = np.zeros(k, dtype=bool)
+    for lo in range(0, train_idx.shape[0], chunk_size):
+        rows = gather(train_idx[lo : lo + chunk_size])
+        seen_entities[rows[:, 0]] = True
+        seen_entities[rows[:, 2]] = True
+        seen_relations[rows[:, 1]] = True
+    ok = np.zeros(heldout_idx.shape[0], dtype=bool)
+    for lo in range(0, heldout_idx.shape[0], chunk_size):
+        rows = gather(heldout_idx[lo : lo + chunk_size])
+        ok[lo : lo + rows.shape[0]] = (
+            seen_entities[rows[:, 0]]
+            & seen_entities[rows[:, 2]]
+            & seen_relations[rows[:, 1]]
+        )
+    train_idx = np.concatenate([train_idx, heldout_idx[~ok]])
+    heldout_idx = heldout_idx[ok]
+    n_valid = min(n_valid, heldout_idx.shape[0])
+    split_indices = {
+        "train": train_idx,
+        "valid": heldout_idx[:n_valid],
+        "test": heldout_idx[n_valid:],
+    }
+
+    # Phase 4: stream each split's canonical (key-sorted) columns into
+    # the final store, then drop the scratch columns.
+    backend = MmapBackend(directory, mode="r+")
+    splits: dict[str, TripleSet] = {}
+    for split_name, idx in split_indices.items():
+        keys = np.empty(idx.shape[0], dtype=np.int64)
+        for lo in range(0, idx.shape[0], chunk_size):
+            rows = gather(idx[lo : lo + chunk_size])
+            keys[lo : lo + rows.shape[0]] = encode_keys(rows, n, k)
+        order = np.argsort(keys)
+        with backend.writer(
+            f"{split_name}.triples", np.int64, columns=3
+        ) as triples_writer:
+            for lo in range(0, idx.shape[0], chunk_size):
+                triples_writer.append(gather(idx[order[lo : lo + chunk_size]]))
+        with backend.writer(f"{split_name}.keys", np.int64) as keys_writer:
+            for lo in range(0, idx.shape[0], chunk_size):
+                keys_writer.append(keys[order[lo : lo + chunk_size]])
+        splits[split_name] = TripleSet.from_backend(
+            backend, n, k, prefix=f"{split_name}."
+        )
+    scratch.close()
+    shutil.rmtree(scratch_dir)
+
+    metadata = dict(profile.metadata)
+    metadata.update(
+        {
+            "profile": profile.name,
+            "num_types": profile.num_types,
+            "popularity_exponent": profile.popularity_exponent,
+            "triangle_closure_prob": profile.triangle_closure_prob,
+            "seed": profile.seed,
+            "entity_types": sampler.entity_types,
+            "streaming": True,
+        }
+    )
+    graph = KnowledgeGraph(
+        name=profile.name,
+        entities=Vocabulary.from_range("e", n),
+        relations=Vocabulary.from_range("r", k),
+        train=splits["train"],
+        valid=splits["valid"],
+        test=splits["test"],
+        metadata=metadata,
+    )
+    finalize_kg_store(backend, graph)
+    return graph

@@ -13,6 +13,11 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
+from .blocked import (
+    DEFAULT_MEMORY_BUDGET,
+    local_triangles_blocked,
+    square_clustering_blocked,
+)
 from .triples import TripleSet
 
 __all__ = [
@@ -26,6 +31,7 @@ __all__ = [
     "local_triangles",
     "local_clustering_coefficient",
     "square_clustering",
+    "square_clustering_reference",
     "global_clustering_coefficient",
     "GraphStatistics",
 ]
@@ -82,25 +88,30 @@ def entity_frequency(triples: TripleSet, side: str) -> np.ndarray:
     return np.bincount(ids, minlength=triples.num_entities).astype(np.int64)
 
 
-def local_triangles(adj: sp.csr_matrix) -> np.ndarray:
+def local_triangles(
+    adj: sp.csr_matrix, memory_budget: int = DEFAULT_MEMORY_BUDGET
+) -> np.ndarray:
     """Number of triangles through each node, ``T(v)`` in the paper.
 
-    Computed as ``diag(A³) / 2`` using one sparse matmul: the entrywise
-    product ``A ⊙ A²`` summed per row counts ordered 2-paths that close,
-    i.e. twice the triangle count.
+    Computed as ``diag(A³) / 2``: the entrywise product ``A ⊙ A²`` summed
+    per row counts ordered 2-paths that close, i.e. twice the triangle
+    count.  The two-hop product is evaluated in node blocks sized under
+    ``memory_budget`` bytes (see :mod:`repro.kg.blocked`), so the count
+    matrix ``A²`` — whose Θ(Σ deg²) non-zeros dwarf ``A`` on large skewed
+    graphs — is never resident at once.
     """
-    a2 = adj @ adj
-    closed = adj.multiply(a2)
-    return (np.asarray(closed.sum(axis=1)).ravel() / 2.0).astype(np.int64)
+    return local_triangles_blocked(adj, memory_budget)
 
 
-def local_clustering_coefficient(adj: sp.csr_matrix) -> np.ndarray:
+def local_clustering_coefficient(
+    adj: sp.csr_matrix, memory_budget: int = DEFAULT_MEMORY_BUDGET
+) -> np.ndarray:
     """Watts–Strogatz local clustering coefficient ``c(v)`` per node.
 
     ``c(v) = 2 T(v) / (deg(v) (deg(v) - 1))``; zero where ``deg < 2``.
     """
     deg = degrees(adj).astype(np.float64)
-    tri = local_triangles(adj).astype(np.float64)
+    tri = local_triangles(adj, memory_budget).astype(np.float64)
     denom = deg * (deg - 1.0)
     coeff = np.zeros_like(deg)
     valid = denom > 0
@@ -108,7 +119,9 @@ def local_clustering_coefficient(adj: sp.csr_matrix) -> np.ndarray:
     return coeff
 
 
-def square_clustering(adj: sp.csr_matrix) -> np.ndarray:
+def square_clustering(
+    adj: sp.csr_matrix, memory_budget: int = DEFAULT_MEMORY_BUDGET
+) -> np.ndarray:
     """Squares clustering coefficient ``c₄(v)`` per node (Zhang et al. 2008).
 
     Fraction of possible 4-cycles through ``v`` that actually exist::
@@ -118,15 +131,30 @@ def square_clustering(adj: sp.csr_matrix) -> np.ndarray:
     where ``q_v(u,w)`` is the number of common neighbours of ``u`` and ``w``
     other than ``v``, and ``a_v(u,w)`` counts the potential squares.
 
-    This is a deliberately faithful — and deliberately expensive, Θ(Σ deg²)
-    with an inner common-neighbour intersection — implementation: its cost
-    is exactly why the paper excludes CLUSTERING SQUARES from the main
-    experiments (§4.3).
+    Evaluated by the blocked CSR kernel
+    :func:`repro.kg.blocked.square_clustering_blocked`: the pairwise
+    common-neighbour intersections collapse into per-row reductions of the
+    two-hop count matrix, computed slab by slab under ``memory_budget``
+    bytes.  Bit-identical to :func:`square_clustering_reference` — all
+    intermediates are exact integer counts.
+    """
+    return square_clustering_blocked(adj, memory_budget)
+
+
+def square_clustering_reference(adj: sp.csr_matrix) -> np.ndarray:
+    """The retained pure-Python reference for :func:`square_clustering`.
+
+    A deliberately faithful — and deliberately expensive, Θ(Σ deg²) with
+    an inner common-neighbour intersection — implementation: its cost is
+    exactly why the paper excludes CLUSTERING SQUARES from the main
+    experiments (§4.3).  Kept as the equivalence oracle for the blocked
+    kernel and as the honest baseline the substrate benchmarks measure
+    speedups against.
     """
     n = adj.shape[0]
     indptr, indices = adj.indptr, adj.indices
     deg = degrees(adj)
-    dense_rows = adj.toarray().astype(bool) if n <= 4096 else None
+    dense_rows = adj.toarray().astype(bool) if n <= 4096 else None  # lint: disable=RPR017
     coeff = np.zeros(n, dtype=np.float64)
 
     for v in range(n):
@@ -161,13 +189,16 @@ def square_clustering(adj: sp.csr_matrix) -> np.ndarray:
     return coeff
 
 
-def global_clustering_coefficient(adj: sp.csr_matrix) -> float:
+def global_clustering_coefficient(
+    adj: sp.csr_matrix, memory_budget: int = DEFAULT_MEMORY_BUDGET
+) -> float:
     """Average of the local clustering coefficients over all nodes.
 
     This is the dataset-level density measure of the paper's Figure 3
-    (red line), e.g. 0.059 for WN18RR.
+    (red line), e.g. 0.059 for WN18RR.  Computed through the blocked
+    sparse kernels; ``memory_budget`` bounds the resident slab size.
     """
-    coeff = local_clustering_coefficient(adj)
+    coeff = local_clustering_coefficient(adj, memory_budget)
     return float(coeff.mean()) if coeff.size else 0.0
 
 
@@ -187,20 +218,33 @@ class GraphStatistics:
 
     ``backend`` selects how the triangle-based metrics are computed:
 
-    * ``"networkx"`` (default) — per-node Python computation, the same
-      substrate AmpliGraph's discovery strategies use.  Its cost is part
-      of what the paper measures (Figure 2's CC/CT runtime penalty), so
-      it is the faithful choice for experiments.
-    * ``"sparse"`` — vectorised sparse-matrix computation from this
-      module; orders of magnitude faster and used to cross-validate the
-      networkx results in the test suite.
+    * ``"sparse"`` (default) — the blocked CSR kernels of
+      :mod:`repro.kg.blocked`: vectorised, out-of-core friendly (slabs
+      bounded by ``memory_budget`` bytes), and bit-identical to the
+      networkx values — both compute the same exact integer counts, so
+      the final coefficient divisions divide the same integers.
+    * ``"networkx"`` — per-node Python computation, the same substrate
+      AmpliGraph's discovery strategies use.  Kept for cross-checking
+      the sparse kernels in the test suite; its cost on large graphs is
+      what the paper's Figure 2 measures, so benchmarks that want the
+      *faithful* runtime profile opt into it explicitly.
+
+    ``memory_budget`` caps the resident size (in bytes) of each two-hop
+    slab the sparse kernels build; it only affects blocking, never the
+    computed values.
     """
 
-    def __init__(self, triples: TripleSet, backend: str = "networkx") -> None:
+    def __init__(
+        self,
+        triples: TripleSet,
+        backend: str = "sparse",
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    ) -> None:
         if backend not in ("networkx", "sparse"):
             raise ValueError(f"backend must be 'networkx' or 'sparse', got {backend!r}")
         self.triples = triples
         self.backend = backend
+        self.memory_budget = int(memory_budget)
         self._adjacency: sp.csr_matrix | None = None
         self._nx_graph: nx.Graph | None = None
         self._cache: dict[str, np.ndarray | float] = {}
@@ -251,7 +295,9 @@ class GraphStatistics:
     @property
     def triangles(self) -> np.ndarray:
         if self.backend == "sparse":
-            compute = lambda: local_triangles(self.adjacency).astype(np.float64)  # noqa: E731
+            compute = lambda: local_triangles(  # noqa: E731
+                self.adjacency, self.memory_budget
+            ).astype(np.float64)
         else:
             compute = lambda: self._as_array(nx.triangles(self.nx_graph))  # noqa: E731
         return self._cached("triangles", compute)
@@ -259,7 +305,9 @@ class GraphStatistics:
     @property
     def clustering_coefficient(self) -> np.ndarray:
         if self.backend == "sparse":
-            compute = lambda: local_clustering_coefficient(self.adjacency)  # noqa: E731
+            compute = lambda: local_clustering_coefficient(  # noqa: E731
+                self.adjacency, self.memory_budget
+            )
         else:
             compute = lambda: self._as_array(nx.clustering(self.nx_graph))  # noqa: E731
         return self._cached("clustering_coefficient", compute)
@@ -267,7 +315,9 @@ class GraphStatistics:
     @property
     def squares_clustering(self) -> np.ndarray:
         if self.backend == "sparse":
-            compute = lambda: square_clustering(self.adjacency)  # noqa: E731
+            compute = lambda: square_clustering(  # noqa: E731
+                self.adjacency, self.memory_budget
+            )
         else:
             compute = lambda: self._as_array(  # noqa: E731
                 nx.square_clustering(self.nx_graph)

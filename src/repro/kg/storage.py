@@ -1,0 +1,469 @@
+"""Pluggable storage backends for the knowledge-graph substrate.
+
+Every column the substrate persists — triple arrays, sorted membership
+keys, entity-type vectors — is a named numpy array living behind a
+:class:`StorageBackend`.  Two stdlib-only implementations ship:
+
+* :class:`InMemoryBackend` — plain dict of arrays; the default, with the
+  exact semantics the substrate always had.
+* :class:`MmapBackend` — each array is a ``.npy`` file inside one store
+  directory, written through the atomic temp→fsync→rename discipline of
+  :mod:`repro.resilience.atomic` and read back as a *read-only
+  memory-mapped view*.  A ``manifest.json`` records a sha256 content
+  digest (plus dtype and shape) per array; digests are re-verified the
+  first time each array is opened, so a torn or bit-flipped column is a
+  typed :class:`StorageCorruptError` instead of silent garbage.
+
+Mmap views make the multiprocess story free: a worker that unpickles a
+mmap-backed :class:`~repro.kg.triples.TripleSet` re-opens the same files
+and shares the page cache with every other process — no per-process
+copies of the triple arrays (see ``spec()`` / :func:`open_backend`).
+
+Large arrays can also be *streamed* into a backend chunk-by-chunk via
+:meth:`StorageBackend.writer`, which is how the streaming dataset
+generators emit million-triple replicas under a bounded resident set:
+the ``.npy`` header is patched with the final row count on close, and
+the content digest is accumulated per chunk along the way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..resilience.atomic import atomic_write, atomic_write_bytes
+
+__all__ = [
+    "StorageBackend",
+    "InMemoryBackend",
+    "MmapBackend",
+    "ArrayWriter",
+    "StorageCorruptError",
+    "content_digest",
+    "open_backend",
+]
+
+_MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+#: Chunk size (bytes) for digest computation over mmap views.
+_DIGEST_CHUNK = 4 << 20
+
+
+class StorageCorruptError(RuntimeError):
+    """A stored array failed its manifest checksum or shape check."""
+
+
+def _content_digest_chunks(chunks: Iterator[np.ndarray], dtype: np.dtype) -> str:
+    """sha256 over dtype + raw row bytes, accumulated chunk by chunk."""
+    digest = hashlib.sha256()
+    digest.update(str(np.dtype(dtype)).encode("utf-8"))
+    for chunk in chunks:
+        digest.update(np.ascontiguousarray(chunk).tobytes())
+    return digest.hexdigest()
+
+
+def content_digest(array: np.ndarray) -> str:
+    """sha256 content digest of one array (dtype + bytes, shape-agnostic).
+
+    Computed over bounded slices so a memory-mapped multi-gigabyte column
+    never has to be resident all at once.
+    """
+    array = np.asarray(array)
+    flat = array.reshape(-1)
+    step = max(1, _DIGEST_CHUNK // max(array.itemsize, 1))
+    return _content_digest_chunks(
+        (flat[i : i + step] for i in range(0, flat.shape[0], step)), array.dtype
+    )
+
+
+class StorageBackend(ABC):
+    """Named-array storage behind :class:`~repro.kg.triples.TripleSet`.
+
+    The contract every implementation honours:
+
+    * :meth:`get` returns a **read-only** array view; callers never
+      mutate stored columns in place.
+    * :meth:`put` replaces a column wholesale (atomically, for durable
+      backends).
+    * :meth:`writer` streams a column in chunks for data too large to
+      materialise.
+    * :meth:`spec` returns a picklable descriptor from which
+      :func:`open_backend` reconstructs an equivalent read view — the
+      hook that lets worker processes attach a store without copying it.
+    """
+
+    @abstractmethod
+    def get(self, name: str) -> np.ndarray:
+        """Read-only view of the named array; ``KeyError`` if missing."""
+
+    @abstractmethod
+    def put(self, name: str, array: np.ndarray) -> None:
+        """Store (replace) the named array."""
+
+    @abstractmethod
+    def writer(self, name: str, dtype, columns: int | None = None) -> "ArrayWriter":
+        """Open a chunked writer for the named array.
+
+        ``columns=None`` streams a 1-D array; an integer streams a 2-D
+        ``(rows, columns)`` array.
+        """
+
+    @abstractmethod
+    def names(self) -> list[str]:
+        """Sorted names of the stored arrays."""
+
+    @abstractmethod
+    def spec(self) -> dict:
+        """Picklable descriptor accepted by :func:`open_backend`."""
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def close(self) -> None:
+        """Release resources (idempotent; in-memory stores no-op)."""
+
+
+class ArrayWriter:
+    """Chunk-by-chunk column writer returned by :meth:`StorageBackend.writer`.
+
+    Usage::
+
+        with backend.writer("train.triples", np.int64, columns=3) as w:
+            for chunk in chunks:          # (m, 3) arrays
+                w.append(chunk)
+
+    Subclasses implement ``_append`` / ``_close``; the base class tracks
+    the row count and validates chunk shapes.
+    """
+
+    def __init__(self, dtype, columns: int | None) -> None:
+        self.dtype = np.dtype(dtype)
+        self.columns = columns
+        self.rows = 0
+        self._closed = False
+
+    def append(self, chunk: np.ndarray) -> None:
+        chunk = np.asarray(chunk, dtype=self.dtype)
+        if self.columns is None:
+            if chunk.ndim != 1:
+                raise ValueError(f"expected 1-D chunk, got shape {chunk.shape}")
+        else:
+            if chunk.ndim != 2 or chunk.shape[1] != self.columns:
+                raise ValueError(
+                    f"expected (m, {self.columns}) chunk, got shape {chunk.shape}"
+                )
+        if chunk.shape[0]:
+            self._append(np.ascontiguousarray(chunk))
+            self.rows += chunk.shape[0]
+
+    def _append(self, chunk: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._close()
+
+    def __enter__(self) -> "ArrayWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+            self._abort()
+
+    def _abort(self) -> None:
+        """Discard partial output after an error (best effort)."""
+
+
+# ----------------------------------------------------------------------
+# In-memory backend
+# ----------------------------------------------------------------------
+class _MemoryWriter(ArrayWriter):
+    def __init__(self, backend: "InMemoryBackend", name: str, dtype, columns) -> None:
+        super().__init__(dtype, columns)
+        self._backend = backend
+        self._name = name
+        self._chunks: list[np.ndarray] = []
+
+    def _append(self, chunk: np.ndarray) -> None:
+        self._chunks.append(chunk.copy())
+
+    def _close(self) -> None:
+        shape = (0,) if self.columns is None else (0, self.columns)
+        if self._chunks:
+            array = np.concatenate(self._chunks, axis=0)
+        else:
+            array = np.zeros(shape, dtype=self.dtype)
+        self._backend.put(self._name, array)
+        self._chunks.clear()
+
+
+class InMemoryBackend(StorageBackend):
+    """Arrays held in RAM — the substrate's historical behaviour."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def get(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        array = np.asarray(array)
+        if array.flags.writeable:
+            array = array.copy()
+            array.setflags(write=False)
+        self._arrays[name] = array
+
+    def writer(self, name: str, dtype, columns: int | None = None) -> ArrayWriter:
+        return _MemoryWriter(self, name, dtype, columns)
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def spec(self) -> dict:
+        raise TypeError(
+            "InMemoryBackend holds process-local arrays and has no "
+            "picklable spec; persist to a MmapBackend to share across "
+            "processes"
+        )
+
+    def __repr__(self) -> str:
+        return f"InMemoryBackend(arrays={len(self._arrays)})"
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped .npy backend
+# ----------------------------------------------------------------------
+#: Fixed-size .npy v1 header: magic(6) + version(2) + hlen(2) + body.
+_NPY_MAGIC = b"\x93NUMPY\x01\x00"
+_NPY_HEADER_TOTAL = 128
+
+
+def _npy_header_bytes(dtype: np.dtype, shape: tuple[int, ...]) -> bytes:
+    """A v1 ``.npy`` header padded to exactly 128 bytes.
+
+    The fixed size is what lets a streaming writer patch the true row
+    count over the placeholder shape on close without moving the data.
+    """
+    descr = np.lib.format.dtype_to_descr(dtype)
+    shape_repr = "(" + ", ".join(str(int(d)) for d in shape) + ("," if len(shape) == 1 else "") + ")"
+    body = (
+        "{'descr': %r, 'fortran_order': False, 'shape': %s, }"
+        % (descr, shape_repr)
+    ).encode("latin1")
+    pad = _NPY_HEADER_TOTAL - len(_NPY_MAGIC) - 2 - len(body) - 1
+    if pad < 0:
+        raise ValueError(f"npy header too large for fixed 128-byte slot: {shape}")
+    header = body + b" " * pad + b"\n"
+    return _NPY_MAGIC + len(header).to_bytes(2, "little") + header
+
+
+class _MmapWriter(ArrayWriter):
+    """Streams chunks straight into the temp ``.npy`` file, digesting as
+    it goes, then patches the header and publishes atomically."""
+
+    def __init__(self, backend: "MmapBackend", name: str, dtype, columns) -> None:
+        super().__init__(dtype, columns)
+        self._backend = backend
+        self._name = name
+        self._path = backend._array_path(name)
+        self._tmp = self._path.with_name(f"{self._path.name}.{os.getpid()}.tmp")
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._tmp, "wb")
+        placeholder = (0,) if columns is None else (0, columns)
+        self._handle.write(_npy_header_bytes(self.dtype, placeholder))
+        self._digest = hashlib.sha256()
+        self._digest.update(str(self.dtype).encode("utf-8"))
+
+    def _append(self, chunk: np.ndarray) -> None:
+        data = chunk.tobytes()
+        self._handle.write(data)
+        self._digest.update(data)
+
+    def _close(self) -> None:
+        shape = (self.rows,) if self.columns is None else (self.rows, self.columns)
+        self._handle.flush()
+        self._handle.seek(0)
+        self._handle.write(_npy_header_bytes(self.dtype, shape))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        os.replace(self._tmp, self._path)
+        self._backend._register(
+            self._name, self._digest.hexdigest(), self.dtype, shape
+        )
+
+    def _abort(self) -> None:
+        try:
+            self._handle.close()
+        finally:
+            self._tmp.unlink(missing_ok=True)
+
+
+class MmapBackend(StorageBackend):
+    """``.npy`` columns in a store directory, read as read-only mmaps.
+
+    Parameters
+    ----------
+    directory:
+        The store directory; created on first write.
+    mode:
+        ``"r"`` opens an existing store read-only (missing directory is
+        an error); ``"r+"`` (default) also allows writes.
+    verify:
+        Re-check each array's sha256 content digest against the manifest
+        the first time it is opened in this backend instance.
+    """
+
+    def __init__(
+        self, directory: Path | str, mode: str = "r+", verify: bool = True
+    ) -> None:
+        if mode not in ("r", "r+"):
+            raise ValueError(f"mode must be 'r' or 'r+', got {mode!r}")
+        self.directory = Path(directory)
+        self.mode = mode
+        self.verify = verify
+        self._verified: set[str] = set()
+        self._views: dict[str, np.ndarray] = {}
+        if mode == "r" and not self.directory.is_dir():
+            raise FileNotFoundError(f"store directory not found: {self.directory}")
+        self._manifest = self._load_manifest()
+
+    # -- manifest ------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def _load_manifest(self) -> dict:
+        path = self._manifest_path()
+        if not path.exists():
+            return {"format_version": _FORMAT_VERSION, "arrays": {}}
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        version = manifest.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise StorageCorruptError(
+                f"{path}: unsupported store format_version {version!r}"
+            )
+        return manifest
+
+    def _save_manifest(self) -> None:
+        atomic_write_bytes(
+            self._manifest_path(),
+            (json.dumps(self._manifest, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+
+    def _register(self, name: str, digest: str, dtype, shape: tuple[int, ...]) -> None:
+        self._manifest["arrays"][name] = {
+            "sha256": digest,
+            "dtype": str(np.dtype(dtype)),
+            "shape": list(int(d) for d in shape),
+        }
+        self._save_manifest()
+        self._verified.add(name)
+        self._views.pop(name, None)
+
+    def _array_path(self, name: str) -> Path:
+        if "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid array name {name!r}")
+        return self.directory / f"{name}.npy"
+
+    # -- StorageBackend API --------------------------------------------
+    def get(self, name: str) -> np.ndarray:
+        view = self._views.get(name)
+        if view is not None:
+            return view
+        entry = self._manifest["arrays"].get(name)
+        if entry is None:
+            raise KeyError(name)
+        path = self._array_path(name)
+        try:
+            view = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise StorageCorruptError(f"{path}: unreadable array: {exc}") from exc
+        expected_shape = tuple(entry["shape"])
+        if view.shape != expected_shape or str(view.dtype) != entry["dtype"]:
+            raise StorageCorruptError(
+                f"{path}: manifest says {entry['dtype']}{expected_shape}, "
+                f"file has {view.dtype}{view.shape}"
+            )
+        if self.verify and name not in self._verified:
+            actual = content_digest(view)
+            if actual != entry["sha256"]:
+                raise StorageCorruptError(
+                    f"{path}: content digest mismatch "
+                    f"(manifest {entry['sha256'][:12]}…, file {actual[:12]}…)"
+                )
+            self._verified.add(name)
+        self._views[name] = view
+        return view
+
+    def put(self, name: str, array: np.ndarray) -> None:
+        self._check_writable()
+        array = np.ascontiguousarray(array)
+        path = self._array_path(name)
+        with atomic_write(path) as tmp:
+            with open(tmp, "wb") as handle:
+                np.save(handle, array)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._register(name, content_digest(array), array.dtype, array.shape)
+
+    def writer(self, name: str, dtype, columns: int | None = None) -> ArrayWriter:
+        self._check_writable()
+        return _MmapWriter(self, name, dtype, columns)
+
+    def names(self) -> list[str]:
+        return sorted(self._manifest["arrays"])
+
+    def spec(self) -> dict:
+        return {
+            "kind": "mmap",
+            "directory": str(self.directory),
+            "verify": self.verify,
+        }
+
+    def close(self) -> None:
+        # Views are plain mmap objects collected with the arrays; drop
+        # our references so the maps can be released promptly.
+        self._views.clear()
+
+    def _check_writable(self) -> None:
+        if self.mode == "r":
+            raise PermissionError(
+                f"store {self.directory} was opened read-only (mode='r')"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"MmapBackend(directory={str(self.directory)!r}, mode={self.mode!r}, "
+            f"arrays={len(self._manifest['arrays'])})"
+        )
+
+
+def open_backend(spec: dict) -> StorageBackend:
+    """Reconstruct a read view of a backend from its picklable spec.
+
+    This is the cross-process attach path: a worker that receives a spec
+    opens the same store files read-only and shares the page cache with
+    every sibling — zero per-process copies.
+    """
+    kind = spec.get("kind")
+    if kind == "mmap":
+        return MmapBackend(
+            spec["directory"], mode="r", verify=bool(spec.get("verify", True))
+        )
+    raise ValueError(f"unknown backend spec kind {kind!r}")

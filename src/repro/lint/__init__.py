@@ -48,6 +48,11 @@ RPR016    unbounded waits — blocking primitives in
           ``repro.parallel``/``repro.experiments`` (``future.result``,
           ``Queue.get``, ``lock.acquire``, ``Process.join``) must carry
           a timeout so a dead counterpart cannot hang the supervisor
+RPR017    dense materialisation — ``.toarray()``/``.todense()`` and
+          square ``(x, x)`` numpy allocations in ``repro.kg``/
+          ``repro.discovery`` (outside the backend-internal
+          storage/blocked modules) re-introduce the Θ(N²) footprint
+          the out-of-core substrate exists to avoid
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -89,6 +94,7 @@ from .suppress import filter_suppressed, suppressed_rule_ids
 from . import (
     rules_api,
     rules_concurrency,
+    rules_dense,
     rules_determinism,
     rules_exceptions,
     rules_exports,
@@ -148,6 +154,7 @@ __all__ = [
     "suppressed_rule_ids",
     "rules_api",
     "rules_concurrency",
+    "rules_dense",
     "rules_determinism",
     "rules_exceptions",
     "rules_exports",

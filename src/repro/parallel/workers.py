@@ -54,9 +54,18 @@ def _attached(handle: ModelHandle):
 def _dataset_graph(name: str):
     graph = _GRAPHS.get(name)
     if graph is None:
-        from ..kg.datasets import load_dataset
+        if name.startswith("store:"):
+            # Out-of-core datasets: re-attach the mmap-backed KG store.
+            # The triple columns stay on disk and are shared through the
+            # page cache, so N workers cost one copy of the data.
+            from ..kg.io import load_kg_store
 
-        graph = _GRAPHS[name] = load_dataset(name)
+            graph = load_kg_store(name[len("store:") :])
+        else:
+            from ..kg.datasets import load_dataset
+
+            graph = load_dataset(name)
+        _GRAPHS[name] = graph
     return graph
 
 

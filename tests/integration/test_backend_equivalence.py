@@ -1,0 +1,151 @@
+"""Backend equivalence: storage and compute backends never change results.
+
+The substrate PR's contract is *bit-identity everywhere*: a graph served
+from mmap views must produce the same statistics, the same strategy
+weight vectors, and the same discovered facts as the in-memory path; the
+sparse blocked kernels must agree with networkx; and ``procs=2``
+discovery must agree with serial.  These tests pin all of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery import create_strategy, discover_facts
+from repro.kg import (
+    GraphStatistics,
+    available_datasets,
+    load_dataset,
+    load_kg_store,
+    save_kg_store,
+)
+from repro.kge import ModelConfig, TrainConfig, fit
+
+#: The paper's six sampling strategies (Figure 1's x-axis).
+PAPER_STRATEGIES = (
+    "uniform_random",
+    "entity_frequency",
+    "graph_degree",
+    "cluster_coefficient",
+    "cluster_triangles",
+    "cluster_squares",
+)
+
+_METRICS = (
+    "degree",
+    "subject_frequency",
+    "object_frequency",
+    "triangles",
+    "clustering_coefficient",
+    "squares_clustering",
+)
+
+
+@pytest.fixture(scope="module")
+def stored_graph(small_graph, tmp_path_factory):
+    """The small graph plus its mmap and materialised store reloads."""
+    store = tmp_path_factory.mktemp("equiv") / "small"
+    save_kg_store(small_graph, store)
+    return {
+        "original": small_graph,
+        "mmap": load_kg_store(store, mmap=True),
+        "memory": load_kg_store(store, mmap=False),
+    }
+
+
+class TestStatisticsEquivalence:
+    @pytest.mark.parametrize("metric", _METRICS)
+    def test_mmap_vs_memory_bitwise(self, stored_graph, metric):
+        results = {
+            kind: getattr(GraphStatistics(graph.train), metric)
+            for kind, graph in stored_graph.items()
+        }
+        np.testing.assert_array_equal(results["original"], results["mmap"])
+        np.testing.assert_array_equal(results["original"], results["memory"])
+
+    @pytest.mark.parametrize("name", available_datasets())
+    def test_sparse_vs_networkx_on_all_replicas(self, name):
+        graph = load_dataset(name)
+        sparse = GraphStatistics(graph.train, backend="sparse")
+        nxb = GraphStatistics(graph.train, backend="networkx")
+        np.testing.assert_array_equal(sparse.triangles, nxb.triangles)
+        np.testing.assert_array_equal(
+            sparse.clustering_coefficient, nxb.clustering_coefficient
+        )
+        assert sparse.average_clustering == nxb.average_clustering
+
+    def test_sparse_vs_networkx_squares(self, small_graph):
+        # Squares on the full replicas is what the paper calls
+        # prohibitive; the cross-check runs on the integration graph
+        # (the replica-scale blocked-vs-reference identity is pinned in
+        # tests/kg/test_blocked.py).
+        sparse = GraphStatistics(small_graph.train, backend="sparse")
+        nxb = GraphStatistics(small_graph.train, backend="networkx")
+        np.testing.assert_array_equal(
+            sparse.squares_clustering, nxb.squares_clustering
+        )
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy_name", PAPER_STRATEGIES)
+    def test_weight_vectors_bitwise(self, stored_graph, strategy_name):
+        distributions = {}
+        for kind, graph in stored_graph.items():
+            strategy = create_strategy(strategy_name)
+            strategy.prepare(GraphStatistics(graph.train))
+            distributions[kind] = {
+                side: strategy.distribution(side)
+                for side in ("subject", "object")
+            }
+        for kind in ("mmap", "memory"):
+            for side in ("subject", "object"):
+                pool_a, probs_a = distributions["original"][side]
+                pool_b, probs_b = distributions[kind][side]
+                np.testing.assert_array_equal(pool_a, pool_b)
+                np.testing.assert_array_equal(probs_a, probs_b)
+
+
+class TestDiscoveryEquivalence:
+    @pytest.fixture(scope="class")
+    def trained(self, small_graph):
+        result = fit(
+            small_graph,
+            ModelConfig("distmult", dim=24, seed=0),
+            TrainConfig(
+                job="kvsall", loss="bce", epochs=30, batch_size=128,
+                lr=0.05, label_smoothing=0.1,
+            ),
+        )
+        return result.model
+
+    def test_discovered_facts_identical_across_backends(
+        self, trained, stored_graph
+    ):
+        results = {
+            kind: discover_facts(
+                trained, graph, strategy="entity_frequency",
+                top_n=30, max_candidates=150, seed=3,
+            )
+            for kind, graph in stored_graph.items()
+        }
+        baseline = results["original"]
+        for kind in ("mmap", "memory"):
+            np.testing.assert_array_equal(
+                baseline.facts, results[kind].facts
+            )
+            np.testing.assert_array_equal(
+                baseline.ranks, results[kind].ranks
+            )
+
+    def test_serial_vs_two_procs_identical(self, trained, stored_graph):
+        serial = discover_facts(
+            trained, stored_graph["mmap"], strategy="entity_frequency",
+            top_n=30, max_candidates=150, seed=3, procs=1,
+        )
+        parallel = discover_facts(
+            trained, stored_graph["mmap"], strategy="entity_frequency",
+            top_n=30, max_candidates=150, seed=3, procs=2,
+        )
+        np.testing.assert_array_equal(serial.facts, parallel.facts)
+        np.testing.assert_array_equal(serial.ranks, parallel.ranks)

@@ -1,0 +1,109 @@
+"""Blocked CSR kernels: bit-identity to the references, block planning."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kg import (
+    DEFAULT_MEMORY_BUDGET,
+    local_triangles_blocked,
+    plan_node_blocks,
+    square_clustering_blocked,
+    square_clustering_reference,
+    undirected_adjacency,
+)
+from repro.kg.blocked import iter_two_hop_blocks
+
+
+def random_adjacency(n: int, avg_degree: float, seed: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2) + 1
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    adj = sp.csr_matrix(
+        (np.ones(2 * rows.size, dtype=np.int64),
+         (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+        shape=(n, n),
+    )
+    adj.data[:] = 1
+    return adj
+
+
+GRAPHS = [(1, 0.0, 0), (5, 1.0, 1), (30, 3.0, 2), (64, 6.0, 3), (257, 4.0, 4)]
+BUDGETS = [1, 1 << 10, 1 << 20, DEFAULT_MEMORY_BUDGET]
+
+
+class TestBlockPlanning:
+    @pytest.mark.parametrize("n, deg, seed", GRAPHS)
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_bounds_partition_the_node_range(self, n, deg, seed, budget):
+        adj = random_adjacency(n, deg, seed)
+        bounds = plan_node_blocks(adj, budget)
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert (np.diff(bounds) > 0).all()
+
+    def test_tiny_budget_gives_single_row_blocks(self):
+        adj = random_adjacency(40, 4.0, 7)
+        bounds = plan_node_blocks(adj, 1)
+        assert len(bounds) == adj.shape[0] + 1
+
+    def test_huge_budget_gives_one_block(self):
+        adj = random_adjacency(40, 4.0, 7)
+        bounds = plan_node_blocks(adj, 1 << 40)
+        assert list(bounds) == [0, adj.shape[0]]
+
+    def test_empty_graph(self):
+        adj = sp.csr_matrix((0, 0), dtype=np.int64)
+        assert list(plan_node_blocks(adj)) == [0]
+        assert square_clustering_blocked(adj).shape == (0,)
+
+    def test_slabs_tile_the_product(self):
+        adj = random_adjacency(50, 4.0, 9)
+        full = (adj @ adj).toarray()
+        for lo, hi, a_blk, t_blk in iter_two_hop_blocks(adj, 1 << 10):
+            np.testing.assert_array_equal(t_blk.toarray(), full[lo:hi])
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n, deg, seed", GRAPHS)
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_squares_bitwise_equal_reference(self, n, deg, seed, budget):
+        adj = random_adjacency(n, deg, seed)
+        blocked = square_clustering_blocked(adj, budget)
+        reference = square_clustering_reference(adj)
+        assert blocked.dtype == reference.dtype
+        np.testing.assert_array_equal(blocked, reference)
+
+    @pytest.mark.parametrize("n, deg, seed", GRAPHS)
+    def test_squares_bitwise_equal_networkx(self, n, deg, seed):
+        adj = random_adjacency(n, deg, seed)
+        blocked = square_clustering_blocked(adj)
+        graph = nx.from_scipy_sparse_array(adj)
+        expected = np.zeros(n)
+        for node, value in nx.square_clustering(graph).items():
+            expected[node] = value
+        np.testing.assert_array_equal(blocked, expected)
+
+    @pytest.mark.parametrize("n, deg, seed", GRAPHS)
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_triangles_bitwise_equal_networkx(self, n, deg, seed, budget):
+        adj = random_adjacency(n, deg, seed)
+        blocked = local_triangles_blocked(adj, budget)
+        graph = nx.from_scipy_sparse_array(adj)
+        expected = np.zeros(n, dtype=np.int64)
+        for node, value in nx.triangles(graph).items():
+            expected[node] = value
+        np.testing.assert_array_equal(blocked, expected)
+
+    def test_budget_never_changes_values(self):
+        from repro.kg import load_dataset
+
+        adj = undirected_adjacency(load_dataset("wn18rr-like").train)
+        baseline = square_clustering_blocked(adj, DEFAULT_MEMORY_BUDGET)
+        for budget in (1, 4096, 1 << 16):
+            np.testing.assert_array_equal(
+                square_clustering_blocked(adj, budget), baseline
+            )

@@ -1,0 +1,200 @@
+"""Storage backends: roundtrips, checksums, streaming writers, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    InMemoryBackend,
+    KnowledgeGraph,
+    MmapBackend,
+    StorageCorruptError,
+    TripleSet,
+    kg_store_exists,
+    load_dataset,
+    load_kg_store,
+    open_backend,
+    save_kg_store,
+)
+from repro.kg.storage import content_digest
+
+
+@pytest.fixture(params=["memory", "mmap"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryBackend()
+    return MmapBackend(tmp_path / "store")
+
+
+class TestBackendContract:
+    def test_put_get_roundtrip(self, backend):
+        arr = np.arange(12, dtype=np.int64).reshape(4, 3)
+        backend.put("cols", arr)
+        got = backend.get("cols")
+        np.testing.assert_array_equal(got, arr)
+        assert "cols" in backend and "other" not in backend
+        assert backend.names() == ["cols"]
+
+    def test_views_are_read_only(self, backend):
+        backend.put("x", np.arange(5))
+        view = backend.get("x")
+        with pytest.raises((ValueError, TypeError)):
+            view[0] = 99
+
+    def test_put_copies_input(self, backend):
+        arr = np.arange(5, dtype=np.int64)
+        backend.put("x", arr)
+        arr[0] = 42
+        assert backend.get("x")[0] == 0
+
+    def test_missing_name_raises_keyerror(self, backend):
+        with pytest.raises(KeyError):
+            backend.get("nope")
+
+    def test_streaming_writer_matches_put(self, backend):
+        rows = np.arange(30, dtype=np.int64).reshape(10, 3)
+        with backend.writer("streamed", np.int64, columns=3) as writer:
+            writer.append(rows[:4])
+            writer.append(rows[4:])
+        backend.put("direct", rows)
+        np.testing.assert_array_equal(
+            backend.get("streamed"), backend.get("direct")
+        )
+
+    def test_streaming_writer_1d(self, backend):
+        with backend.writer("keys", np.int64) as writer:
+            writer.append(np.arange(7))
+            writer.append(np.arange(7, 11))
+        np.testing.assert_array_equal(backend.get("keys"), np.arange(11))
+
+    def test_empty_writer(self, backend):
+        with backend.writer("empty", np.int64, columns=3):
+            pass
+        assert backend.get("empty").shape == (0, 3)
+
+
+class TestMmapBackend:
+    def test_reopen_existing_store(self, tmp_path):
+        store = tmp_path / "s"
+        first = MmapBackend(store)
+        first.put("a", np.arange(4))
+        second = MmapBackend(store, mode="r")
+        np.testing.assert_array_equal(second.get("a"), np.arange(4))
+
+    def test_read_only_mode_rejects_writes(self, tmp_path):
+        store = tmp_path / "s"
+        MmapBackend(store).put("a", np.arange(4))
+        ro = MmapBackend(store, mode="r")
+        with pytest.raises(PermissionError):
+            ro.put("b", np.arange(4))
+
+    def test_missing_directory_in_read_mode(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MmapBackend(tmp_path / "absent", mode="r")
+
+    def test_corrupted_data_detected(self, tmp_path):
+        store = tmp_path / "s"
+        backend = MmapBackend(store)
+        backend.put("a", np.arange(64, dtype=np.int64))
+        path = store / "a.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageCorruptError):
+            MmapBackend(store, mode="r").get("a")
+
+    def test_corruption_ignored_without_verify(self, tmp_path):
+        store = tmp_path / "s"
+        MmapBackend(store).put("a", np.arange(64, dtype=np.int64))
+        path = store / "a.npy"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        unchecked = MmapBackend(store, mode="r", verify=False)
+        assert unchecked.get("a").shape == (64,)
+
+    def test_spec_reopens_read_only(self, tmp_path):
+        store = tmp_path / "s"
+        backend = MmapBackend(store)
+        backend.put("a", np.arange(4))
+        again = open_backend(backend.spec())
+        np.testing.assert_array_equal(again.get("a"), np.arange(4))
+        assert again.mode == "r"
+
+    def test_memory_backend_has_no_spec(self):
+        with pytest.raises(TypeError):
+            InMemoryBackend().spec()
+
+    def test_content_digest_covers_dtype(self):
+        ints = np.arange(4, dtype=np.int64)
+        floats = ints.astype(np.float64)
+        assert content_digest(ints) != content_digest(floats)
+
+
+class TestTripleSetBackends:
+    def test_persist_and_reopen(self, tmp_path):
+        triples = TripleSet([(0, 0, 1), (1, 0, 2), (2, 1, 0)], 3, 2)
+        backend = MmapBackend(tmp_path / "s")
+        triples.persist(backend, prefix="train.")
+        again = TripleSet.from_backend(backend, 3, 2, prefix="train.")
+        assert again == triples
+        np.testing.assert_array_equal(again.array, triples.array)
+
+    def test_mmap_set_pickles_as_pointer(self, tmp_path):
+        graph = load_dataset("wn18rr-like")
+        store = save_kg_store(graph, tmp_path / "s")
+        reopened = load_kg_store(store)
+        blob = pickle.dumps(reopened.train)
+        assert len(blob) < 4096  # a pointer, not the data
+        clone = pickle.loads(blob)
+        assert clone == reopened.train
+
+    def test_in_memory_set_pickles_by_value(self):
+        triples = TripleSet([(0, 0, 1)], 2, 1)
+        clone = pickle.loads(pickle.dumps(triples))
+        assert clone == triples
+
+
+class TestKGStore:
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        graph = load_dataset("fb15k237-like")
+        store = tmp_path_factory.mktemp("stores") / "fb"
+        save_kg_store(graph, store)
+        return graph, store
+
+    def test_exists(self, saved, tmp_path):
+        _, store = saved
+        assert kg_store_exists(store)
+        assert not kg_store_exists(tmp_path / "nowhere")
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_roundtrip(self, saved, mmap):
+        graph, store = saved
+        again = load_kg_store(store, mmap=mmap)
+        assert isinstance(again, KnowledgeGraph)
+        assert again.name == graph.name
+        for split in ("train", "valid", "test"):
+            ours, theirs = getattr(graph, split), getattr(again, split)
+            assert ours == theirs
+            np.testing.assert_array_equal(ours.array, theirs.array)
+        assert again.entities == graph.entities
+        assert again.relations == graph.relations
+        np.testing.assert_array_equal(
+            again.metadata["entity_types"], graph.metadata["entity_types"]
+        )
+
+    def test_tampered_labels_detected(self, saved, tmp_path):
+        import shutil
+
+        _, store = saved
+        copy = tmp_path / "tampered"
+        shutil.copytree(store, copy)
+        labels = copy / "entities.txt"
+        labels.write_text(
+            labels.read_text(encoding="utf-8").replace("e_0\n", "e_X\n", 1),
+            encoding="utf-8",
+        )
+        with pytest.raises(StorageCorruptError):
+            load_kg_store(copy)

@@ -1,0 +1,116 @@
+"""Streaming generation: determinism, split validity, store integrity."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    DATASET_PROFILES,
+    FULL_SCALE_PROFILES,
+    generate_kg_streaming,
+    kg_store_exists,
+    load_full_dataset,
+    load_kg_store,
+    scale_profile,
+)
+
+PROFILE = DATASET_PROFILES["yago310-like"]
+
+
+@pytest.fixture(scope="module")
+def streamed(tmp_path_factory):
+    store = tmp_path_factory.mktemp("streamed") / "yago"
+    graph = generate_kg_streaming(PROFILE, store, chunk_size=2048)
+    return graph, store
+
+
+class TestStreamingGenerator:
+    def test_reaches_target_size(self, streamed):
+        graph, _ = streamed
+        assert graph.num_entities == PROFILE.num_entities
+        assert graph.num_relations == PROFILE.num_relations
+        assert graph.num_triples <= PROFILE.num_triples
+        assert graph.num_triples >= 0.97 * PROFILE.num_triples
+
+    def test_deterministic_given_profile(self, streamed, tmp_path):
+        graph, _ = streamed
+        again = generate_kg_streaming(PROFILE, tmp_path / "again", chunk_size=2048)
+        for split in ("train", "valid", "test"):
+            assert getattr(again, split) == getattr(graph, split)
+        np.testing.assert_array_equal(
+            again.metadata["entity_types"], graph.metadata["entity_types"]
+        )
+
+    def test_no_unseen_ids_in_heldout(self, streamed):
+        graph, _ = streamed
+        seen_entities = np.zeros(graph.num_entities, dtype=bool)
+        seen_entities[graph.train.subjects] = True
+        seen_entities[graph.train.objects] = True
+        seen_relations = np.zeros(graph.num_relations, dtype=bool)
+        seen_relations[graph.train.relations] = True
+        for split in (graph.valid, graph.test):
+            assert seen_entities[split.subjects].all()
+            assert seen_entities[split.objects].all()
+            assert seen_relations[split.relations].all()
+
+    def test_splits_are_disjoint(self, streamed):
+        graph, _ = streamed
+        assert not graph.train.contains(graph.valid.array).any()
+        assert not graph.train.contains(graph.test.array).any()
+        assert not graph.valid.contains(graph.test.array).any()
+
+    def test_store_is_complete_and_loadable(self, streamed):
+        graph, store = streamed
+        assert kg_store_exists(store)
+        assert not (store / ".gen-scratch").exists()  # scratch cleaned up
+        again = load_kg_store(store)
+        assert again.train == graph.train
+        assert again.metadata["streaming"] is True
+
+    def test_zipf_popularity_skew_survives(self, streamed):
+        graph, _ = streamed
+        counts = np.bincount(
+            np.concatenate([graph.train.subjects, graph.train.objects]),
+            minlength=graph.num_entities,
+        )
+        top_share = np.sort(counts)[-graph.num_entities // 20 :].sum() / counts.sum()
+        assert top_share > 0.25  # top 5% of entities carry an outsized share
+
+
+class TestScaleProfile:
+    def test_scales_counts_only(self):
+        scaled = scale_profile(PROFILE, 10)
+        assert scaled.num_entities == PROFILE.num_entities * 10
+        assert scaled.num_triples == PROFILE.num_triples * 10
+        assert scaled.seed == PROFILE.seed
+        assert scaled.triangle_closure_prob == PROFILE.triangle_closure_prob
+        assert scaled.name == "yago310-like-x10"
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            scale_profile(PROFILE, 0)
+
+
+class TestFullScaleRegistry:
+    def test_profiles_match_paper_metadata(self):
+        from repro.kg import PAPER_METADATA
+
+        profile = FULL_SCALE_PROFILES["yago310-full"]
+        meta = PAPER_METADATA["yago310"]
+        assert profile.num_entities == meta.entities == 123_182
+        assert profile.num_relations == meta.relations == 37
+        assert profile.num_triples == meta.training + meta.validation + meta.test
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_full_dataset("fb15k237-full")
+
+    def test_generates_then_reopens(self, tmp_path):
+        # A scaled-down stand-in keeps this tier-1-fast; the true
+        # full-scale path is exercised by bench_substrate_scaling.py.
+        small = scale_profile(
+            FULL_SCALE_PROFILES["yago310-full"], 0.01, name="yago310-mini"
+        )
+        store = tmp_path / "mini"
+        first = generate_kg_streaming(small, store)
+        again = load_kg_store(store)
+        assert again.train == first.train

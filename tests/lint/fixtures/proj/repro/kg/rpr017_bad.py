@@ -1,0 +1,22 @@
+"""RPR017 bad fixture: dense materialisation of graph-scale matrices."""
+
+import numpy as np
+
+
+def densify_adjacency(adj):
+    return adj.toarray()  # finding 1: dense N×N copy
+
+
+def matrix_power(adj):
+    squared = (adj @ adj).todense()  # finding 2: dense two-hop matrix
+    return squared
+
+
+def score_all_pairs(n):
+    scores = np.zeros((n, n))  # finding 3: square variable alloc
+    return scores
+
+
+def pair_mask(num_entities):
+    mask = np.full((num_entities, num_entities), False)  # finding 4
+    return mask

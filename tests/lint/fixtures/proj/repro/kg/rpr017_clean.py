@@ -1,0 +1,26 @@
+"""RPR017 clean fixture: sparse and slab-bounded allocations only."""
+
+import numpy as np
+
+
+def per_node_counts(adj):
+    return np.asarray(adj.sum(axis=1)).ravel()
+
+
+def edge_scratch(num_edges):
+    return np.zeros(num_edges)  # 1-D: proportional to edges
+
+
+def triple_columns(n, m):
+    return np.zeros((n, m))  # rectangular with distinct dims
+
+
+def fixed_window():
+    return np.ones((8, 8))  # literal square: small fixed-size scratch
+
+
+def blocked_rowsums(adj, iter_two_hop_blocks, budget):
+    out = np.zeros(adj.shape[0])
+    for lo, hi, a_blk, t_blk in iter_two_hop_blocks(adj, budget):
+        out[lo:hi] = np.asarray(a_blk.multiply(t_blk).sum(axis=1)).ravel()
+    return out

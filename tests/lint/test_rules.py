@@ -1,6 +1,6 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR016 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR017 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
 The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009/RPR012) live under
@@ -76,6 +76,12 @@ CASES = [
         "proj/repro/parallel/rpr016_bad.py",
         "proj/repro/parallel/rpr016_clean.py",
         5,
+    ),
+    (
+        "RPR017",
+        "proj/repro/kg/rpr017_bad.py",
+        "proj/repro/kg/rpr017_clean.py",
+        4,
     ),
 ]
 

@@ -1,0 +1,218 @@
+"""Serving layer — in-process load generation against ``ServeApp``.
+
+Closed-loop clients drive the transport-agnostic ``handle`` entry point
+(the exact code path the HTTP worker threads execute, minus socket I/O),
+so the numbers measure the serving stack itself: JSON decode, wire-type
+validation, registry resolution, single-flight coalescing, the warm
+:class:`repro.kge.RankingEngine` and response serialisation.
+
+Two phases are timed:
+
+* **hot** — every client repeats one identical ``/v1/rank`` request, the
+  steady state a dashboard or crawler produces; the score rows come from
+  the warm engine cache and concurrent repeats coalesce.
+* **mixed** — an 80/20 blend of the hot request and per-client cold
+  requests over unseen triples, forcing fresh score rows mid-stream.
+
+Assertions, not just measurements:
+
+* hot-phase throughput clears ``GATE_MIN_RPS`` requests/second;
+* every hot response is byte-identical, and the served ranks match an
+  offline :class:`RankingEngine` run on the same triples bit-for-bit.
+
+Results land in ``benchmarks/results/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from common import RESULTS_DIR, save_and_print
+
+from repro.api import RankRequest, Session
+from repro.experiments import format_table, get_trained_model
+from repro.kg import load_dataset
+from repro.kge import RankingEngine, save_model
+from repro.serve import ModelRegistry, ServeApp
+
+CLIENTS = 4
+HOT_REQUESTS_PER_CLIENT = 400
+MIXED_REQUESTS_PER_CLIENT = 200
+HOT_SHARE = 0.8  # of the mixed phase
+TRIPLES_PER_REQUEST = 8
+GATE_MIN_RPS = 1000.0
+
+
+def _drive(app, plan_per_client):
+    """Run one closed-loop phase; returns (wall_s, latencies_s, payloads).
+
+    ``plan_per_client[i]`` is the request-body sequence client ``i``
+    plays back-to-back.  Latencies are per-request wall times across all
+    clients; payloads collects every 200-response body for identity
+    checks.
+    """
+    latencies = [[] for _ in plan_per_client]
+    payloads = [[] for _ in plan_per_client]
+    barrier = threading.Barrier(len(plan_per_client) + 1)
+
+    def client(index):
+        my_latencies = latencies[index]
+        my_payloads = payloads[index]
+        barrier.wait(timeout=60.0)
+        for body in plan_per_client[index]:
+            t0 = time.perf_counter()
+            status, _, payload = app.handle("POST", "/v1/rank", body)
+            my_latencies.append(time.perf_counter() - t0)
+            assert status == 200, payload
+            my_payloads.append(payload)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(len(plan_per_client))
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60.0)
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600.0)
+        assert not thread.is_alive(), "load-generator thread wedged"
+    wall = time.perf_counter() - t0
+    flat_latencies = [value for per in latencies for value in per]
+    flat_payloads = [payload for per in payloads for payload in per]
+    return wall, flat_latencies, flat_payloads
+
+
+def _phase_stats(wall, latencies):
+    arr = np.asarray(latencies)
+    return {
+        "requests": int(arr.size),
+        "throughput_rps": arr.size / wall,
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p99_ms": float(np.percentile(arr, 99) * 1e3),
+    }
+
+
+def test_serving_throughput():
+    graph = load_dataset("fb15k237-like")
+    model = get_trained_model("fb15k237-like", "distmult", graph=graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "distmult.npz"
+        save_model(model, checkpoint)
+        session = Session(ModelRegistry(graph_loader=lambda name: graph))
+        ref = session.add_model("fb15k237-like", checkpoint)
+        app = ServeApp(session)
+
+        test = graph.test.array
+        as_wire = lambda block: tuple(  # noqa: E731 - local shaping helper
+            (int(s), int(r), int(o)) for s, r, o in block
+        )
+        hot_triples = as_wire(test[:TRIPLES_PER_REQUEST])
+        hot_body = RankRequest(model=ref.model_id, triples=hot_triples).to_bytes()
+        cold_bodies = []
+        for index in range(CLIENTS):
+            lo = (index + 1) * TRIPLES_PER_REQUEST
+            block = as_wire(test[lo : lo + TRIPLES_PER_REQUEST])
+            cold_bodies.append(
+                RankRequest(model=ref.model_id, triples=block).to_bytes()
+            )
+
+        # Warm-up: load the model, fill the hot score rows, settle BLAS.
+        status, _, warm_payload = app.handle("POST", "/v1/rank", hot_body)
+        assert status == 200, warm_payload
+
+        flight_before = app.coalescing_counters()
+        hot_wall, hot_latencies, hot_payloads = _drive(
+            app, [[hot_body] * HOT_REQUESTS_PER_CLIENT] * CLIENTS
+        )
+        flight_after = app.coalescing_counters()
+
+        hot_span = max(1, int(MIXED_REQUESTS_PER_CLIENT * HOT_SHARE))
+        plans = []
+        for index in range(CLIENTS):
+            plan = [
+                hot_body
+                if position % MIXED_REQUESTS_PER_CLIENT < hot_span
+                else cold_bodies[index]
+                for position in range(MIXED_REQUESTS_PER_CLIENT)
+            ]
+            plans.append(plan)
+        mixed_wall, mixed_latencies, mixed_payloads = _drive(app, plans)
+
+    # --- bit-identity: one canonical hot response, equal to offline. ---
+    unique_hot = set(hot_payloads)
+    assert unique_hot == {warm_payload}
+    served_ranks = np.asarray(json.loads(warm_payload)["ranks"])
+    offline = RankingEngine().compute_ranks(
+        model,
+        np.asarray(hot_triples, dtype=np.int64),
+        filter_triples=graph.train,
+        side="object",
+    )
+    np.testing.assert_array_equal(served_ranks, offline)
+
+    hot = _phase_stats(hot_wall, hot_latencies)
+    mixed = _phase_stats(mixed_wall, mixed_latencies)
+
+    leads = flight_after["leads_count"] - flight_before["leads_count"]
+    coalesced = flight_after["coalesced_count"] - flight_before["coalesced_count"]
+    assert leads + coalesced == hot["requests"]
+    hit_rate = coalesced / hot["requests"]
+
+    # --- the gate: a cached model serves ≥1000 req/s in-process. ---
+    assert hot["throughput_rps"] >= GATE_MIN_RPS, hot
+
+    rows = [
+        {
+            "phase": "hot (1 cached request)",
+            "requests": hot["requests"],
+            "rps": round(hot["throughput_rps"]),
+            "p50_ms": round(hot["p50_ms"], 3),
+            "p99_ms": round(hot["p99_ms"], 3),
+        },
+        {
+            "phase": f"mixed ({HOT_SHARE:.0%} hot / cold)",
+            "requests": mixed["requests"],
+            "rps": round(mixed["throughput_rps"]),
+            "p50_ms": round(mixed["p50_ms"], 3),
+            "p99_ms": round(mixed["p99_ms"], 3),
+        },
+    ]
+
+    payload = {
+        "dataset": "fb15k237-like",
+        "model": "distmult",
+        "clients": CLIENTS,
+        "triples_per_request": TRIPLES_PER_REQUEST,
+        "hot": hot,
+        "mixed": mixed,
+        "coalescing": {
+            "leads_count": leads,
+            "coalesced_count": coalesced,
+            "hit_rate": hit_rate,
+        },
+        "gate_min_rps": GATE_MIN_RPS,
+        "bit_identical_hot_responses": True,
+        "served_matches_offline_engine": True,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    save_and_print(
+        "serving",
+        format_table(
+            rows,
+            title=(
+                f"Serving throughput, {CLIENTS} closed-loop clients "
+                f"(coalescing hit-rate {hit_rate:.0%} on the hot phase)"
+            ),
+        ),
+    )

@@ -21,6 +21,12 @@ Quickstart::
     print(report.summary())
 """
 
+from .api import (
+    ClassifyRequest,
+    DiscoverRequest,
+    RankRequest,
+    Session,
+)
 from .discovery import (
     DiscoveryConfig,
     DiscoveryResult,
@@ -66,6 +72,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "RankRequest",
+    "DiscoverRequest",
+    "ClassifyRequest",
     "KnowledgeGraph",
     "TripleSet",
     "load_dataset",

@@ -1,0 +1,65 @@
+"""The versioned public API facade.
+
+One stable request/response surface shared by every transport: the
+:mod:`repro.serve` HTTP endpoints, the ``repro query`` CLI, and Python
+callers.  :mod:`repro.api.types` defines the frozen keyword-only wire
+dataclasses (each stamped with ``schema_version``) and the typed
+:class:`ApiError` taxonomy; :class:`Session` executes them against a
+model registry.
+
+The schema versioning policy (documented in ``docs/api.md``): additive
+fields ship within a version because ``from_dict`` rejects unknown keys
+on *requests* only the server hasn't learned yet; renames/removals bump
+:data:`SCHEMA_VERSION` and the old version is served for one release
+behind the same endpoints.
+"""
+
+from .session import Session
+from .types import (
+    SCHEMA_VERSION,
+    ApiError,
+    BadRequestError,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeadlineError,
+    DiscoverRequest,
+    DiscoverResponse,
+    HealthResponse,
+    ModelInfo,
+    ModelNotFoundError,
+    ModelRef,
+    ModelsResponse,
+    NotFoundError,
+    RankRequest,
+    RankResponse,
+    WireType,
+    config_digest,
+    encode_payload,
+    request_type_for,
+    response_type_for,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ApiError",
+    "BadRequestError",
+    "NotFoundError",
+    "ModelNotFoundError",
+    "DeadlineError",
+    "ModelRef",
+    "config_digest",
+    "WireType",
+    "RankRequest",
+    "DiscoverRequest",
+    "ClassifyRequest",
+    "RankResponse",
+    "DiscoverResponse",
+    "ClassifyResponse",
+    "ModelInfo",
+    "ModelsResponse",
+    "HealthResponse",
+    "encode_payload",
+    "request_type_for",
+    "response_type_for",
+    "Session",
+]

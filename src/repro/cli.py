@@ -20,6 +20,9 @@ Commands
   assert the recovery invariants: no orphaned shared-memory segments,
   a replayable journal, and post-recovery results bit-identical to a
   fault-free run;
+* ``serve`` — serve checkpoints over HTTP: a long-lived query server with
+  a model registry, request coalescing and live ``/metrics``;
+* ``query`` — one-shot typed client against a running ``repro serve``;
 * ``lint`` — run the domain-aware static analyser (``repro.lint``) over
   the codebase; all arguments are forwarded to ``repro-lint``.
 
@@ -54,7 +57,6 @@ from .kg import (
     GraphStatistics,
     KnowledgeGraph,
     load_dataset,
-    load_dataset_dir,
 )
 from .kge import (
     ModelConfig,
@@ -93,22 +95,12 @@ def _metrics_sink(path: str | None):
 
 def _load_graph(name: str) -> KnowledgeGraph:
     """Resolve a dataset argument: registry name, TSV dir, or KG store."""
-    from .kg import FULL_SCALE_PROFILES, kg_store_exists, load_full_dataset, load_kg_store
+    from .kg import resolve_dataset
 
-    if name in DATASET_PROFILES:
-        return load_dataset(name)
-    if name in FULL_SCALE_PROFILES:
-        return load_full_dataset(name)
-    path = Path(name[len("store:") :] if name.startswith("store:") else name)
-    if kg_store_exists(path):
-        return load_kg_store(path)
-    if path.is_dir():
-        return load_dataset_dir(path)
-    raise SystemExit(
-        f"error: unknown dataset {name!r} — not a registry name "
-        f"({sorted(DATASET_PROFILES) + sorted(FULL_SCALE_PROFILES)}), "
-        f"not a KG store, and not a dataset directory"
-    )
+    try:
+        return resolve_dataset(name)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}") from None
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -397,9 +389,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     if result.guard_report is not None and not result.guard_report.clean:
         summary = result.guard_report.summary()
-        print(f"guard: {summary['guard_events']} event(s), "
-              f"{summary['guard_epoch_retries']} epoch retr(ies), "
-              f"{summary['guard_rollbacks']} rollback(s)")
+        print(f"guard: {summary['guard_events_count']} event(s), "
+              f"{summary['guard_epoch_retries_count']} epoch retr(ies), "
+              f"{summary['guard_rollbacks_count']} rollback(s)")
     print(f"final loss: {result.losses[-1]:.4f} after {result.epochs_run} epochs")
     metrics = evaluate_ranking(result.model, graph, split="valid")
     print(f"validation MRR: {metrics.mrr:.4f}, Hits@10: {metrics.hits[10]:.4f}")
@@ -738,6 +730,86 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve registered checkpoints over HTTP until interrupted."""
+    import time
+
+    from .api import Session
+    from .serve import start_server
+
+    session = Session(capacity=args.capacity, cache_size=args.cache_size)
+    for spec in args.models:
+        dataset, sep, checkpoint = spec.partition("=")
+        if not sep or not dataset or not checkpoint:
+            raise SystemExit(
+                f"error: --models entries must be DATASET=CHECKPOINT, got {spec!r}"
+            )
+        ref = session.add_model(dataset, checkpoint)
+        print(f"registered {ref.model_id} <- {checkpoint}")
+
+    server = start_server(
+        session,
+        host=args.host,
+        port=args.port,
+        max_workers=args.procs,
+        deadline_seconds=args.cell_deadline,
+    )
+    print(
+        f"serving {len(session.registry)} model(s) on {server.url} "
+        f"({args.procs} workers"
+        + (f", {args.cell_deadline}s request deadline" if args.cell_deadline else "")
+        + "); endpoints: /healthz /metrics /v1/models /v1/rank /v1/discover "
+        "/v1/classify"
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\ninterrupt: draining in-flight requests...")
+    finally:
+        server.close()
+        print("server stopped")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """One-shot typed client against a running ``repro serve`` instance."""
+    import json
+
+    from .api.types import ApiError, request_type_for
+    from .serve import ServeClient
+
+    client = ServeClient(args.url, timeout_seconds=args.timeout)
+    try:
+        if args.endpoint == "metrics":
+            print(client.metrics(), end="")
+            return 0
+        if args.endpoint == "health":
+            print(client.health().to_json(indent=2))
+            return 0
+        if args.endpoint == "models":
+            print(client.models().to_json(indent=2))
+            return 0
+        try:
+            payload = json.loads(args.data) if args.data else {}
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"error: --data is not valid JSON ({error})")
+        request = request_type_for(args.endpoint).from_dict(payload)
+        call = {
+            "rank": client.rank,
+            "discover": client.discover,
+            "classify": client.classify,
+        }[args.endpoint]
+        print(call(request).to_json(indent=2))
+        return 0
+    except ApiError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import main as lint_main
 
@@ -963,6 +1035,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("-o", "--output", default=None,
                      help="write instead of printing")
     obs.set_defaults(func=_cmd_obs)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve checkpoints over HTTP (discovery-as-a-service)",
+        description="Load checksummed checkpoints into the model registry "
+        "and answer /v1/rank, /v1/discover and /v1/classify queries from "
+        "concurrent clients, with live Prometheus metrics at /metrics. "
+        "Responses are bit-identical to the offline discover/evaluate "
+        "commands (see docs/api.md for the wire schema).",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--models", nargs="+", required=True,
+                       metavar="DATASET=CHECKPOINT",
+                       help="checkpoints to register, e.g. "
+                            "fb15k237-like=model.npz (repeatable)")
+    serve.add_argument("--procs", type=int, default=8,
+                       help="bounded worker threads handling requests")
+    serve.add_argument("--cell-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline; overruns answer a typed "
+                            "504 deadline_exceeded envelope")
+    serve.add_argument("--capacity", type=int, default=4,
+                       help="models kept loaded at once (LRU-evicted, "
+                            "in-flight models are never dropped)")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="score rows cached per model across requests")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="serve for this long then drain and exit "
+                            "(default: until Ctrl-C)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a JSON metrics/span snapshot on shutdown "
+                            "(re-render with `repro obs`)")
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="one-shot client for a running `repro serve` server",
+    )
+    query.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8350")
+    query.add_argument("endpoint",
+                       choices=["health", "models", "metrics", "rank",
+                                "discover", "classify"])
+    query.add_argument("--data", default=None, metavar="JSON",
+                       help="request body for rank/discover/classify, e.g. "
+                            "'{\"model\": \"...\", \"triples\": [[0, 1, 2]]}'")
+    query.add_argument("--timeout", type=float, default=30.0,
+                       help="client-side HTTP timeout in seconds")
+    query.set_defaults(func=_cmd_query)
 
     lint = sub.add_parser(
         "lint",

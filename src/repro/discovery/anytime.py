@@ -32,7 +32,7 @@ from ..kg.stats import OBJECT, SUBJECT, GraphStatistics
 from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
 from ..kge.ranking import RANKING_STATS_ALIASES, RankingEngine
-from ..obs import DeprecatedKeyDict, ReportableMixin, Stopwatch, get_registry, span
+from ..obs import ReportableMixin, Stopwatch, get_registry, span
 from .strategies import SamplingStrategy, create_strategy
 
 __all__ = ["AnytimeResult", "anytime_discover"]
@@ -80,13 +80,9 @@ class AnytimeResult(ReportableMixin):
             "exhausted_count": int(sum(self.exhausted.values())),
             "efficiency_facts_per_hour": self.facts_per_hour(),
         }
-        aliases = {"num_facts": "facts_count"}
         for legacy, value in self.ranking_stats.items():
-            canonical = RANKING_STATS_ALIASES.get(legacy, legacy)
-            out[canonical] = value
-            if canonical != legacy:
-                aliases[legacy] = canonical
-        return DeprecatedKeyDict(out, aliases, owner="AnytimeResult.summary()")
+            out[RANKING_STATS_ALIASES.get(legacy, legacy)] = value
+        return out
 
 
 class _RelationArm:

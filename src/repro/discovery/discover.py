@@ -29,7 +29,6 @@ from ..kg.triples import encode_keys
 from ..kge.base import KGEModel
 from ..kge.ranking import RANKING_STATS_ALIASES, RankingEngine
 from ..obs import (
-    DeprecatedKeyDict,
     ReportableMixin,
     flatten_spans,
     get_registry,
@@ -130,13 +129,15 @@ class DiscoveryResult(ReportableMixin):
     def summary(self) -> dict[str, float]:
         """Flat metric dict for tables and benchmarks.
 
-        Keys follow the canonical ``*_seconds``/``*_count`` naming; the
-        pre-observability names (``num_facts``, ``candidates_generated``,
-        raw :class:`~repro.kge.ranking.RankingStats` counters) still
-        resolve as deprecated aliases.  When the run went through a
-        :class:`~repro.kge.ranking.RankingEngine` the engine's counters
-        are included, and when observability was enabled the run's span
-        tree appears as flat ``span.<path>.wall_seconds`` scalars.
+        Keys follow the canonical ``*_seconds``/``*_count`` naming.  The
+        pre-observability aliases (``num_facts``, ``candidates_generated``,
+        raw :class:`~repro.kge.ranking.RankingStats` counters) completed
+        their deprecation cycle and no longer resolve; the ``num_facts``
+        *attribute* remains as Python-level API.  When the run went
+        through a :class:`~repro.kge.ranking.RankingEngine` the engine's
+        counters are included, and when observability was enabled the
+        run's span tree appears as flat ``span.<path>.wall_seconds``
+        scalars.
         """
         out = {
             "strategy": self.strategy,
@@ -149,18 +150,11 @@ class DiscoveryResult(ReportableMixin):
             "efficiency_facts_per_hour": self.efficiency_facts_per_hour(),
             "candidates_generated_count": self.candidates_generated,
         }
-        aliases = {
-            "num_facts": "facts_count",
-            "candidates_generated": "candidates_generated_count",
-        }
         for legacy, value in self.ranking_stats.items():
-            canonical = RANKING_STATS_ALIASES.get(legacy, legacy)
-            out[canonical] = value
-            if canonical != legacy:
-                aliases[legacy] = canonical
+            out[RANKING_STATS_ALIASES.get(legacy, legacy)] = value
         for path, node in self.trace.items():
             out[f"span.{path}.wall_seconds"] = node["wall_seconds"]
-        return DeprecatedKeyDict(out, aliases, owner="DiscoveryResult.summary()")
+        return out
 
 
 def _mesh_candidates(

@@ -31,7 +31,7 @@ from ..kg.triples import TripleSet, encode_keys
 from ..kge.config import ModelConfig, TrainConfig
 from ..kge.ranking import RankingEngine
 from ..kge.training import fit
-from ..obs import DeprecatedKeyDict, ReportableMixin, span
+from ..obs import ReportableMixin, span
 from .discover import DiscoveryResult, discover_facts
 
 __all__ = ["ProtocolResult", "hide_triples", "heldout_discovery_protocol"]
@@ -50,19 +50,13 @@ class ProtocolResult(ReportableMixin):
     per_relation_recall: dict[int, float] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
-        out = {
+        return {
             "hidden_count": self.num_hidden,
             "discovered_count": self.num_discovered,
             "recovered_count": self.num_recovered,
             "recall": self.recall,
             "known_true_precision": self.known_true_precision,
         }
-        aliases = {
-            "num_hidden": "hidden_count",
-            "num_discovered": "discovered_count",
-            "num_recovered": "recovered_count",
-        }
-        return DeprecatedKeyDict(out, aliases, owner="ProtocolResult.summary()")
 
 
 def hide_triples(

@@ -13,7 +13,7 @@ from ..discovery.discover import discover_facts
 from ..kg.graph import KnowledgeGraph
 from ..kg.stats import GraphStatistics
 from ..kge.base import KGEModel
-from ..obs import DeprecatedKeyDict, ReportableMixin
+from ..obs import ReportableMixin
 from ..resilience import Deadline
 
 __all__ = [
@@ -42,7 +42,7 @@ class GridPoint(ReportableMixin):
     efficiency_facts_per_hour: float
 
     def summary(self) -> dict[str, float]:
-        out = {
+        return {
             "strategy": self.strategy,
             "top_n": self.top_n,
             "max_candidates": self.max_candidates,
@@ -51,9 +51,6 @@ class GridPoint(ReportableMixin):
             "runtime_seconds": self.runtime_seconds,
             "efficiency_facts_per_hour": self.efficiency_facts_per_hour,
         }
-        return DeprecatedKeyDict(
-            out, {"num_facts": "facts_count"}, owner="GridPoint.summary()"
-        )
 
     def to_dict(self) -> dict:
         return asdict(self)

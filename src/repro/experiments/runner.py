@@ -33,7 +33,6 @@ from pathlib import Path
 
 from ..discovery.discover import DiscoveryResult, discover_facts
 from ..obs import (
-    DeprecatedKeyDict,
     ReportableMixin,
     flatten_spans,
     get_registry,
@@ -357,9 +356,7 @@ class MatrixRow(ReportableMixin):
         }
         for path, node in self.trace.items():
             out[f"span.{path}.wall_seconds"] = node["wall_seconds"]
-        return DeprecatedKeyDict(
-            out, {"num_facts": "facts_count"}, owner="MatrixRow.summary()"
-        )
+        return out
 
     @classmethod
     def failed(cls, dataset: str, model: str, strategy: str, error: str) -> "MatrixRow":

@@ -42,6 +42,7 @@ from .datasets import (
     available_full_datasets,
     load_dataset,
     load_full_dataset,
+    resolve_dataset,
 )
 from .generators import KGProfile, generate_kg, generate_kg_streaming, scale_profile
 from .graph import KnowledgeGraph
@@ -126,6 +127,7 @@ __all__ = [
     "available_full_datasets",
     "load_dataset",
     "load_full_dataset",
+    "resolve_dataset",
     "load_dataset_dir",
     "save_dataset_dir",
     "save_kg_store",

@@ -39,6 +39,7 @@ __all__ = [
     "available_full_datasets",
     "load_dataset",
     "load_full_dataset",
+    "resolve_dataset",
 ]
 
 
@@ -231,3 +232,30 @@ def load_full_dataset(
     if not kg_store_exists(store_dir):
         generate_kg_streaming(FULL_SCALE_PROFILES[name], store_dir)
     return load_kg_store(store_dir, mmap=mmap, verify=verify)
+
+
+def resolve_dataset(name: str) -> KnowledgeGraph:
+    """Resolve any dataset spelling: registry name, KG store, or TSV dir.
+
+    One resolution order shared by the CLI and the serve-layer model
+    registry: built-in replica names, full-scale replica names, a
+    ``store:``-prefixed (or bare) KG store directory, then a directory of
+    ``train/valid/test`` TSV files.  Raises :class:`KeyError` when
+    nothing matches — callers choose how to surface it.
+    """
+    from .io import load_dataset_dir
+
+    if name in DATASET_PROFILES:
+        return load_dataset(name)
+    if name in FULL_SCALE_PROFILES:
+        return load_full_dataset(name)
+    path = Path(name[len("store:") :] if name.startswith("store:") else name)
+    if kg_store_exists(path):
+        return load_kg_store(path)
+    if path.is_dir():
+        return load_dataset_dir(path)
+    raise KeyError(
+        f"unknown dataset {name!r} — not a registry name "
+        f"({sorted(DATASET_PROFILES) + sorted(FULL_SCALE_PROFILES)}), "
+        f"not a KG store, and not a dataset directory"
+    )

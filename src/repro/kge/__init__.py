@@ -7,7 +7,7 @@ the paper's experiments.
 """
 
 from .base import KGEModel, available_models, create_model, register_model
-from .checkpoint import load_model, save_model
+from .checkpoint import checkpoint_header, load_model, save_model
 from .complex_ import ComplEx
 from .config import ModelConfig, TrainConfig, expand_grid
 from .conve import ConvE
@@ -53,6 +53,7 @@ __all__ = [
     "RotatE",
     "SimplE",
     "TuckER",
+    "checkpoint_header",
     "save_model",
     "load_model",
     "ModelConfig",

@@ -23,9 +23,38 @@ import numpy as np
 from ..resilience import CheckpointCorruptError, atomic_savez, digest_arrays
 from .base import KGEModel, create_model
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["checkpoint_header", "save_model", "load_model"]
 
 _HEADER_KEY = "__repro_header__"
+
+
+def checkpoint_header(path: Path | str) -> dict:
+    """Read just the JSON header of a checkpoint, without the parameters.
+
+    The serve-layer model registry derives its config digest from this,
+    so cataloguing hundreds of checkpoints stays cheap: only the small
+    header member of the ``.npz`` archive is decompressed.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as stored:
+            if _HEADER_KEY not in stored.files:
+                raise ValueError(
+                    f"{path} is not a repro model checkpoint (missing header)"
+                )
+            header_bytes = bytes(stored[_HEADER_KEY].tobytes())
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError) as error:
+        raise CheckpointCorruptError(
+            f"unreadable checkpoint {path}: {error}"
+        ) from error
+    try:
+        return json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint header in {path}: {error}"
+        ) from error
 
 
 def save_model(model: KGEModel, path: Path | str, optimizer=None) -> None:

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..autograd import no_grad
 from ..kg.triples import TripleSet
-from ..obs import DeprecatedKeyDict, ReportableMixin, get_registry, span
+from ..obs import ReportableMixin, get_registry, span
 
 __all__ = [
     "GroupedFilter",
@@ -179,14 +179,15 @@ class RankingStats(ReportableMixin):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def summary(self) -> dict[str, float]:
-        """Counters under canonical names; field names resolve as aliases."""
-        out = {
+        """Counters under canonical ``*_count``/``*_seconds`` names.
+
+        The raw field names completed their deprecation cycle as lookup
+        aliases; use :meth:`as_dict` for the field-named payload.
+        """
+        return {
             RANKING_STATS_ALIASES.get(f.name, f.name): getattr(self, f.name)
             for f in fields(self)
         }
-        return DeprecatedKeyDict(
-            out, RANKING_STATS_ALIASES, owner="RankingStats.summary()"
-        )
 
     def to_dict(self) -> dict[str, float]:
         """Field-named payload — the shape :meth:`from_dict` reconstructs."""

@@ -53,6 +53,11 @@ RPR017    dense materialisation — ``.toarray()``/``.todense()`` and
           ``repro.discovery`` (outside the backend-internal
           storage/blocked modules) re-introduce the Θ(N²) footprint
           the out-of-core substrate exists to avoid
+RPR018    serve handler hygiene — in ``repro.serve``, no unbounded
+          blocking waits (``Event``/``Condition``/``Barrier.wait`` and
+          the RPR016 primitives need timeouts), no mutation of
+          module-global state from handler code, and no hand-rolled
+          ``json.dumps`` payloads outside the versioned schema types
 ========  ==========================================================
 
 The tier-1 test ``tests/lint/test_self_clean.py`` runs the analyzer over
@@ -104,6 +109,7 @@ from . import (
     rules_reportable,
     rules_resilience,
     rules_rng,
+    rules_serve,
     rules_sparse,
     rules_tape,
     rules_tensor,
@@ -164,6 +170,7 @@ __all__ = [
     "rules_reportable",
     "rules_resilience",
     "rules_rng",
+    "rules_serve",
     "rules_sparse",
     "rules_tape",
     "rules_tensor",

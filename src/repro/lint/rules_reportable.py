@@ -26,6 +26,8 @@ _SCOPES = (
     "repro.experiments",
     "repro.resilience",
     "repro.obs",
+    "repro.serve",
+    "repro.api",
 )
 
 #: Off-vocabulary suffix → the canonical one.

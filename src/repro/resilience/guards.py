@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..autograd.sparse import SparseGrad
-from ..obs import DeprecatedKeyDict, ReportableMixin
+from ..obs import ReportableMixin
 
 if TYPE_CHECKING:  # import-light: guards must not drag in the kge package
     from ..autograd import Module, Optimizer
@@ -97,19 +97,13 @@ class GuardReport(ReportableMixin):
         return not self.events
 
     def summary(self) -> dict[str, float | int | bool]:
-        out = {
+        return {
             "guard_events_count": len(self.events),
             "guard_rollbacks_count": self.rollbacks,
             "guard_epoch_retries_count": self.epoch_retries,
             "guard_halted": self.halted,
             "max_grad_norm": max(self.grad_norms, default=float("nan")),
         }
-        aliases = {
-            "guard_events": "guard_events_count",
-            "guard_rollbacks": "guard_rollbacks_count",
-            "guard_epoch_retries": "guard_epoch_retries_count",
-        }
-        return DeprecatedKeyDict(out, aliases, owner="GuardReport.summary()")
 
 
 def _copy_state_item(item: object) -> object:

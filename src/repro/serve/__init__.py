@@ -1,0 +1,33 @@
+"""Discovery-as-a-service: the long-lived query server.
+
+The ROADMAP's serving milestone: load trained models once, answer
+link-prediction / fact-discovery / triple-classification queries from
+many concurrent clients, and expose live Prometheus metrics.  See
+``docs/architecture.md`` ("Serving") for the registry / coalescing /
+shutdown flow and ``docs/api.md`` for the wire schema.
+
+- :class:`ModelRegistry` — LRU catalogue of checksummed checkpoints with
+  pin-safe eviction and warm per-model engines (:mod:`repro.serve.registry`)
+- :class:`SingleFlight` — request coalescing (:mod:`repro.serve.coalesce`)
+- :class:`ServeApp` / :class:`DiscoveryServer` — HTTP layer with bounded
+  workers and graceful drain (:mod:`repro.serve.server`)
+- :class:`ServeClient` — typed stdlib client (:mod:`repro.serve.client`)
+"""
+
+from .client import ServeClient, ServeClientError, error_from_envelope
+from .coalesce import SingleFlight
+from .registry import ModelEntry, ModelRegistry, RegistrySpec
+from .server import DiscoveryServer, ServeApp, start_server
+
+__all__ = [
+    "ModelEntry",
+    "ModelRegistry",
+    "RegistrySpec",
+    "SingleFlight",
+    "ServeApp",
+    "DiscoveryServer",
+    "start_server",
+    "ServeClient",
+    "ServeClientError",
+    "error_from_envelope",
+]

@@ -1,0 +1,134 @@
+"""A stdlib HTTP client for a running discovery server.
+
+Speaks the same :mod:`repro.api.types` wire schema as the server;
+non-2xx responses are decoded from the error envelope and re-raised as
+the matching :class:`~repro.api.types.ApiError` subclass, so remote
+callers see the exact taxonomy an in-process :class:`~repro.api.Session`
+raises.  The ``repro query`` CLI subcommand is a thin wrapper over this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..api.types import (
+    ApiError,
+    BadRequestError,
+    ClassifyRequest,
+    ClassifyResponse,
+    DeadlineError,
+    DiscoverRequest,
+    DiscoverResponse,
+    HealthResponse,
+    ModelNotFoundError,
+    ModelsResponse,
+    NotFoundError,
+    RankRequest,
+    RankResponse,
+    encode_payload,
+)
+
+__all__ = ["ServeClient", "ServeClientError", "error_from_envelope"]
+
+_ERRORS_BY_CODE: Mapping[str, type[ApiError]] = {
+    "bad_request": BadRequestError,
+    "not_found": NotFoundError,
+    "model_not_found": ModelNotFoundError,
+    "deadline_exceeded": DeadlineError,
+    "internal": ApiError,
+}
+
+
+class ServeClientError(ApiError):
+    """Transport-level failure: unreachable server, non-JSON reply."""
+
+    code = "transport"
+
+
+def error_from_envelope(payload: Mapping[str, Any]) -> ApiError:
+    """Rebuild the typed error a server serialised into its envelope."""
+    detail = payload.get("error")
+    if not isinstance(detail, Mapping):
+        return ServeClientError(f"malformed error envelope: {payload!r}")
+    error_cls = _ERRORS_BY_CODE.get(str(detail.get("code")), ApiError)
+    return error_cls(str(detail.get("message", "unknown server error")))
+
+
+class ServeClient:
+    """Typed requests against ``http://host:port`` (see :class:`ServeApp`)."""
+
+    def __init__(self, base_url: str, timeout_seconds: float = 30.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout_seconds = timeout_seconds
+
+    def _exchange(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> bytes:
+        data = encode_payload(payload) if payload is not None else None
+        request = Request(
+            self._base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urlopen(request, timeout=self._timeout_seconds) as response:
+                return response.read()
+        except HTTPError as error:
+            body = error.read()
+            try:
+                envelope = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeClientError(
+                    f"HTTP {error.code} with non-JSON body from {path}"
+                ) from None
+            raise error_from_envelope(envelope) from None
+        except URLError as error:
+            raise ServeClientError(
+                f"cannot reach {self._base_url}: {error.reason}"
+            ) from None
+
+    def _json(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = self._exchange(method, path, payload)
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeClientError(f"non-JSON response from {path}: {error}") from None
+        if not isinstance(decoded, dict):
+            raise ServeClientError(f"unexpected response shape from {path}")
+        return decoded
+
+    # -- typed endpoints ----------------------------------------------
+
+    def health(self) -> HealthResponse:
+        return HealthResponse.from_dict(self._json("GET", "/healthz"))
+
+    def models(self) -> ModelsResponse:
+        return ModelsResponse.from_dict(self._json("GET", "/v1/models"))
+
+    def metrics(self) -> str:
+        return self._exchange("GET", "/metrics").decode("utf-8")
+
+    def rank(self, request: RankRequest) -> RankResponse:
+        return RankResponse.from_dict(
+            self._json("POST", "/v1/rank", request.to_dict())
+        )
+
+    def discover(self, request: DiscoverRequest) -> DiscoverResponse:
+        return DiscoverResponse.from_dict(
+            self._json("POST", "/v1/discover", request.to_dict())
+        )
+
+    def classify(self, request: ClassifyRequest) -> ClassifyResponse:
+        return ClassifyResponse.from_dict(
+            self._json("POST", "/v1/classify", request.to_dict())
+        )
+
+    def post(self, endpoint: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Raw dispatch for scripting: ``POST /v1/<endpoint>`` with a dict."""
+        return self._json("POST", f"/v1/{endpoint}", payload)

@@ -1,0 +1,104 @@
+"""Single-flight request coalescing.
+
+Concurrent requests with an identical cache key (endpoint + canonical
+JSON body) elect one *leader* that computes the response; every
+*follower* blocks on the leader's completion event and receives the very
+same result object.  Layered on the :class:`~repro.kge.ranking.RankingEngine`
+query-dedup this means N clients hammering one ``(s, r)`` query cost one
+score-row computation total: the engine dedups within a batch, the
+single-flight dedups across concurrent batches.
+
+Followers wait in bounded slices so a per-request
+:class:`~repro.resilience.Deadline` still fires while the leader works;
+a timed-out follower detaches with a typed error and the leader's result
+simply serves the remaining waiters.  Leader failures propagate to all
+waiters as the same exception instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+from ..obs import get_registry
+from ..resilience import Deadline
+
+__all__ = ["SingleFlight"]
+
+# Bounded event-wait slice for followers (lint rule RPR018 forbids
+# unbounded blocking waits anywhere in repro.serve).
+_WAIT_SLICE_SECONDS = 0.05
+
+
+class _Call:
+    """Shared slot for one in-flight computation."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Coalesce concurrent identical computations into one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Call] = {}
+        self._leads_count = 0
+        self._coalesced_count = 0
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime tallies: ``leads_count`` executions, ``coalesced_count`` joins."""
+        with self._lock:
+            return {
+                "leads_count": self._leads_count,
+                "coalesced_count": self._coalesced_count,
+            }
+
+    def run(
+        self,
+        key: Hashable,
+        supplier: Callable[[], Any],
+        deadline: Deadline | None = None,
+    ) -> Any:
+        """Return ``supplier()``, sharing one execution across equal keys.
+
+        The result object is shared by reference between the leader and
+        all followers, so suppliers must return immutable (or effectively
+        read-only) values — the wire types qualify.
+        """
+        with self._lock:
+            call = self._inflight.get(key)
+            leader = call is None
+            if leader:
+                call = _Call()
+                self._inflight[key] = call
+                self._leads_count += 1
+            else:
+                self._coalesced_count += 1
+        metrics = get_registry()
+        if leader:
+            metrics.counter("serve.flight_leads_count").inc()
+            return self._lead(key, call, supplier)
+        metrics.counter("serve.coalesced_count").inc()
+        while not call.event.wait(timeout=_WAIT_SLICE_SECONDS):
+            if deadline is not None:
+                deadline.check("waiting for coalesced result")
+        if call.error is not None:
+            raise call.error
+        return call.value
+
+    def _lead(self, key: Hashable, call: _Call, supplier: Callable[[], Any]) -> Any:
+        try:
+            call.value = supplier()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            call.event.set()
+        return call.value

@@ -75,17 +75,20 @@ class TestInvariants:
 
     def test_summary_keys(self, result):
         summary = result.summary()
-        for key in ("strategy", "num_facts", "mrr", "runtime_seconds",
+        for key in ("strategy", "facts_count", "mrr", "runtime_seconds",
                     "efficiency_facts_per_hour"):
             assert key in summary
+        # Retired aliases no longer appear in the payload.
+        assert "num_facts" not in summary
 
     def test_summary_includes_ranking_engine_counters(self, result):
         summary = result.summary()
-        for key in ("unique_queries", "rows_scored", "rows_reused",
-                    "cache_hits", "score_seconds", "filter_seconds"):
+        for key in ("unique_queries_count", "rows_scored_count",
+                    "rows_reused_count", "cache_hits_count",
+                    "score_seconds", "filter_seconds"):
             assert key in summary
-        assert summary["rows_scored"] <= summary["unique_queries"]
-        assert summary["rows_scored"] < result.candidates_generated
+        assert summary["rows_scored_count"] <= summary["unique_queries_count"]
+        assert summary["rows_scored_count"] < result.candidates_generated
 
     def test_top_facts_sorted(self, result):
         top = result.top_facts(limit=10)

@@ -94,9 +94,8 @@ class TestProtocol:
             "hidden_count", "discovered_count", "recovered_count", "recall",
             "known_true_precision",
         }
-        # The pre-observability names still resolve as deprecated aliases.
-        with pytest.deprecated_call():
-            assert summary["num_hidden"] == summary["hidden_count"]
+        # The pre-observability aliases completed their deprecation cycle.
+        assert "num_hidden" not in summary
 
     def test_popularity_sampling_beats_uniform_recall(self, small_graph):
         """The paper's finding restated in protocol terms: EF recovers

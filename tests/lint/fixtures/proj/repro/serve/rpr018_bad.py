@@ -1,0 +1,31 @@
+"""RPR018 bad fixture: handler habits that break the serving contract."""
+
+import json
+from threading import Condition, Event
+
+_PENDING = {}
+_SEEN = set()
+_TOTAL = 0
+
+
+def wait_for_leader():
+    done = Event()
+    done.wait()  # unbounded: leader may have died
+    return done
+
+
+class Flight:
+    def __init__(self):
+        self._cond = Condition()
+
+    def follow(self):
+        with self._cond:
+            self._cond.wait()  # unbounded: never re-checks the deadline
+
+
+def record(key, value):
+    global _TOTAL
+    _TOTAL += 1
+    _SEEN.add(key)
+    _PENDING[key] = value
+    return json.dumps({"ok": True, "key": key})

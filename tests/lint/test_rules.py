@@ -1,6 +1,6 @@
 """Per-rule fixture pairs plus targeted unit checks.
 
-Every rule RPR001–RPR017 has one *bad* fixture (flagged with exactly the
+Every rule RPR001–RPR018 has one *bad* fixture (flagged with exactly the
 expected findings) and one *clean* fixture (no findings under the full
 rule set, which also proves the fixtures do not trip each other's rules).
 The scoped rules (RPR002/RPR004/RPR007/RPR008/RPR009/RPR012) live under
@@ -82,6 +82,12 @@ CASES = [
         "proj/repro/kg/rpr017_bad.py",
         "proj/repro/kg/rpr017_clean.py",
         4,
+    ),
+    (
+        "RPR018",
+        "proj/repro/serve/rpr018_bad.py",
+        "proj/repro/serve/rpr018_clean.py",
+        6,
     ),
 ]
 

@@ -116,8 +116,9 @@ class TestResultClassesSpeakReportable:
         assert isinstance(report, Reportable)
         payload = json.loads(report.to_json())
         assert payload["guard_rollbacks_count"] == 2
-        with pytest.deprecated_call():
-            assert report.summary()["guard_rollbacks"] == 2
+        # The pre-observability aliases completed their deprecation cycle.
+        with pytest.raises(KeyError):
+            report.summary()["guard_rollbacks"]
 
     def test_all_retrofitted_results_satisfy_protocol(self):
         from repro.discovery.anytime import AnytimeResult
@@ -139,7 +140,7 @@ class TestResultClassesSpeakReportable:
         assert GridSearchResult is GridPoint
         assert WorkflowResult is WorkflowReport
 
-    def test_matrix_row_summary_exposes_canonical_and_alias(self):
+    def test_matrix_row_summary_is_canonical_only(self):
         from repro.experiments.runner import MatrixRow
 
         row = MatrixRow(
@@ -154,5 +155,7 @@ class TestResultClassesSpeakReportable:
         )
         summary = row.summary()
         assert summary["facts_count"] == 7
-        with pytest.deprecated_call():
-            assert summary["num_facts"] == 7
+        # Retired alias: plain dict now, no deprecated lookup path.
+        assert "num_facts" not in summary
+        with pytest.raises(KeyError):
+            summary["num_facts"]

@@ -177,5 +177,5 @@ class TestReport:
 
     def test_summary_keys(self):
         summary = TrainingGuard(GuardConfig()).report.summary()
-        assert summary["guard_events"] == 0
+        assert summary["guard_events_count"] == 0
         assert not summary["guard_halted"]

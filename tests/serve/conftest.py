@@ -1,0 +1,72 @@
+"""Serving-layer fixtures: checkpoints on disk and warm registries.
+
+The checkpoints are saved once per test session from the shared trained
+models; registries resolve the dataset name straight to the in-memory
+``tiny_graph`` so no files beyond the ``.npz`` archives are involved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.kge import create_model, save_model
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def checkpoint_path(tmp_path_factory, trained_distmult):
+    path = tmp_path_factory.mktemp("serve-ckpt") / "distmult.npz"
+    save_model(trained_distmult, path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def alt_checkpoints(tmp_path_factory, tiny_graph):
+    """Three distinct-seed (hence distinct-digest) DistMult checkpoints."""
+    root = tmp_path_factory.mktemp("serve-alt")
+    paths = []
+    for seed in (1, 2, 3):
+        model = create_model(
+            "distmult",
+            num_entities=tiny_graph.num_entities,
+            num_relations=tiny_graph.num_relations,
+            dim=8,
+            seed=seed,
+        )
+        model.eval()
+        path = root / f"distmult-s{seed}.npz"
+        save_model(model, path)
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture()
+def make_registry(tiny_graph):
+    """Registry factory whose dataset names all resolve to ``tiny_graph``."""
+
+    def build(**kwargs):
+        kwargs.setdefault("graph_loader", lambda name: tiny_graph)
+        kwargs.setdefault("cache_size", 512)
+        return ModelRegistry(**kwargs)
+
+    return build
+
+
+@pytest.fixture()
+def session(make_registry, checkpoint_path):
+    session = Session(make_registry())
+    session.add_model("tiny", checkpoint_path)
+    return session
+
+
+@pytest.fixture()
+def model_id(session):
+    return session.registry.refs()[0].model_id
+
+
+@pytest.fixture()
+def test_triples(tiny_graph):
+    """A handful of held-out triples as wire-ready tuples."""
+    arr = tiny_graph.test.array[:4]
+    return tuple((int(s), int(r), int(o)) for s, r, o in arr)

@@ -1,0 +1,209 @@
+"""Concurrency guarantees: coalescing, warm eviction, deadline isolation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import RankRequest, Session
+from repro.kge.ranking import RankingEngine
+from repro.serve import ServeApp, SingleFlight
+
+_JOIN_SECONDS = 30.0
+
+
+def _run_threads(count, target):
+    """Start ``count`` threads on ``target(index)`` and join them all."""
+    errors = []
+
+    def wrap(index):
+        try:
+            target(index)
+        except BaseException as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrap, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=_JOIN_SECONDS)
+        assert not thread.is_alive(), "worker thread wedged"
+    if errors:
+        raise errors[0]
+    return threads
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_execution(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        calls = []
+        results = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def supplier():
+            calls.append(1)
+            assert gate.wait(timeout=_JOIN_SECONDS)
+            return ("payload",)
+
+        def worker(index):
+            barrier.wait(timeout=_JOIN_SECONDS)
+            if index == 0:
+                # Give followers a beat to pile onto the in-flight call,
+                # then release the leader's supplier.
+                threading.Timer(0.05, gate.set).start()
+            results[index] = flight.run("key", supplier)
+
+        _run_threads(8, worker)
+        assert len(calls) == 1
+        assert all(value is results[0] for value in results)
+        assert flight.counters() == {"leads_count": 1, "coalesced_count": 7}
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.run("a", lambda: 1) == 1
+        assert flight.run("b", lambda: 2) == 2
+        assert flight.counters() == {"leads_count": 2, "coalesced_count": 0}
+
+    def test_leader_failure_propagates_to_every_waiter(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        boom = RuntimeError("supplier exploded")
+        caught = [None] * 4
+        barrier = threading.Barrier(4)
+
+        def supplier():
+            assert gate.wait(timeout=_JOIN_SECONDS)
+            raise boom
+
+        def worker(index):
+            barrier.wait(timeout=_JOIN_SECONDS)
+            if index == 0:
+                threading.Timer(0.05, gate.set).start()
+            try:
+                flight.run("key", supplier)
+            except RuntimeError as error:
+                caught[index] = error
+
+        _run_threads(4, worker)
+        assert all(error is boom for error in caught)
+        # A failed flight is not cached: the next run executes afresh.
+        assert flight.run("key", lambda: "recovered") == "recovered"
+
+
+class TestServedCoalescing:
+    def test_identical_requests_are_bit_identical_and_coalesced(
+        self, session, model_id, test_triples, trained_distmult, tiny_graph
+    ):
+        app = ServeApp(session)
+        body = RankRequest(model=model_id, triples=test_triples).to_bytes()
+        n = 12
+        barrier = threading.Barrier(n)
+        responses = [None] * n
+
+        def worker(index):
+            barrier.wait(timeout=_JOIN_SECONDS)
+            responses[index] = app.handle("POST", "/v1/rank", body)
+
+        _run_threads(n, worker)
+        statuses = {status for status, _, _ in responses}
+        assert statuses == {200}
+        payloads = {payload for _, _, payload in responses}
+        assert len(payloads) == 1  # bit-identical bytes across all threads
+
+        ranks = json.loads(payloads.pop())["ranks"]
+        offline = RankingEngine().compute_ranks(
+            trained_distmult,
+            np.asarray(test_triples, dtype=np.int64),
+            filter_triples=tiny_graph.train,
+            side="object",
+        )
+        np.testing.assert_array_equal(np.asarray(ranks), offline)
+
+        counters = app.coalescing_counters()
+        assert counters["leads_count"] + counters["coalesced_count"] == n
+        assert counters["leads_count"] >= 1
+
+    def test_eviction_pressure_never_corrupts_results(
+        self, make_registry, alt_checkpoints, tiny_graph, test_triples
+    ):
+        """Two models thrashing a capacity-1 registry stay bit-correct."""
+        registry = make_registry(capacity=1)
+        session = Session(registry)
+        refs = [
+            session.add_model("tiny", path) for path in alt_checkpoints[:2]
+        ]
+        app = ServeApp(session)
+
+        from repro.kge import load_model
+
+        triples = np.asarray(test_triples, dtype=np.int64)
+        expected = {}
+        for ref, path in zip(refs, alt_checkpoints):
+            model = load_model(path)
+            expected[ref.model_id] = RankingEngine().compute_ranks(
+                model, triples, filter_triples=tiny_graph.train, side="object"
+            )
+
+        rounds = 6
+        failures = []
+
+        def worker(index):
+            ref = refs[index % 2]
+            body = RankRequest(
+                model=ref.model_id, triples=test_triples
+            ).to_bytes()
+            for _ in range(rounds):
+                status, _, payload = app.handle("POST", "/v1/rank", body)
+                if status != 200:
+                    failures.append(payload)
+                    return
+                ranks = np.asarray(json.loads(payload)["ranks"])
+                if not np.array_equal(ranks, expected[ref.model_id]):
+                    failures.append(payload)
+                    return
+
+        _run_threads(4, worker)
+        assert not failures, failures[0]
+        # Cold side evicted, but never an in-flight (pinned) entry.
+        assert len(registry.loaded_ids()) <= 2
+
+
+class TestDeadlines:
+    def test_expired_deadline_maps_to_504_envelope(
+        self, session, model_id, test_triples
+    ):
+        app = ServeApp(session, deadline_seconds=1e-6)
+        body = RankRequest(model=model_id, triples=test_triples).to_bytes()
+        status, content_type, payload = app.handle("POST", "/v1/rank", body)
+        assert status == 504
+        assert content_type == "application/json"
+        envelope = json.loads(payload)
+        assert envelope["error"]["code"] == "deadline_exceeded"
+
+    def test_timeout_does_not_poison_the_score_cache(
+        self, session, model_id, test_triples, trained_distmult, tiny_graph
+    ):
+        body = RankRequest(model=model_id, triples=test_triples).to_bytes()
+        strict = ServeApp(session, deadline_seconds=1e-6)
+        status, _, _ = strict.handle("POST", "/v1/rank", body)
+        assert status == 504
+
+        relaxed = ServeApp(session)  # same session, same warm registry
+        status, _, payload = relaxed.handle("POST", "/v1/rank", body)
+        assert status == 200
+        offline = RankingEngine().compute_ranks(
+            trained_distmult,
+            np.asarray(test_triples, dtype=np.int64),
+            filter_triples=tiny_graph.train,
+            side="object",
+        )
+        np.testing.assert_array_equal(
+            np.asarray(json.loads(payload)["ranks"]), offline
+        )
